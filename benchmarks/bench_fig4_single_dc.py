@@ -1,0 +1,55 @@
+"""Figure 4: single-datacenter throughput and completion time vs node count.
+
+Figure 4(a) compares the maximum throughput of Canopus at 20/50/100% writes
+against EPaxos with 5 ms and 2 ms batching while scaling from 9 to 27 nodes.
+Figure 4(b) reports the median request completion time at ~70% of each
+system's maximum throughput.
+"""
+
+from benchmarks.common import BENCH_NODE_COUNTS, SINGLE_DC_PROFILE, run_once
+from repro.bench.experiments import figure4a_single_dc_throughput, figure4b_single_dc_completion_time
+from repro.bench.report import format_results
+
+
+def test_fig4a_throughput(benchmark):
+    results = run_once(
+        benchmark,
+        figure4a_single_dc_throughput,
+        node_counts=BENCH_NODE_COUNTS,
+        profile=SINGLE_DC_PROFILE,
+    )
+    print()
+    print("Figure 4(a): maximum throughput (requests/second)")
+    print(format_results(results, ["system", "nodes", "write_ratio", "throughput_rps", "median_completion_ms"]))
+
+    by_system = {}
+    for row in results:
+        by_system.setdefault((row["system"], row["nodes"]), row)
+    largest = max(BENCH_NODE_COUNTS)
+    # The paper's headline: at scale, read-heavy Canopus beats EPaxos with
+    # small batches, and its throughput does not degrade as nodes are added.
+    canopus_large = by_system[("canopus", largest)]["throughput_rps"]
+    epaxos_large = by_system[("epaxos-2ms", largest)]["throughput_rps"]
+    assert canopus_large >= epaxos_large
+    canopus_small = by_system[("canopus", BENCH_NODE_COUNTS[0])]["throughput_rps"]
+    assert canopus_large >= 0.8 * canopus_small
+
+
+def test_fig4b_completion_time(benchmark):
+    results = run_once(
+        benchmark,
+        figure4b_single_dc_completion_time,
+        node_counts=(9,),
+        profile=SINGLE_DC_PROFILE,
+    )
+    print()
+    print("Figure 4(b): median completion time at ~70% of max throughput")
+    print(format_results(results, ["system", "nodes", "operating_rate_hz", "median_completion_ms"]))
+
+    by_system = {(row["system"], row["nodes"]): row for row in results}
+    for nodes in (9,):
+        canopus = by_system[("canopus", nodes)]["median_completion_ms"]
+        epaxos_5ms = by_system[("epaxos-5ms", nodes)]["median_completion_ms"]
+        # Canopus answers most requests (reads) after roughly one cycle; EPaxos
+        # holds every request for its 5 ms batching window plus a round trip.
+        assert canopus < epaxos_5ms + 5.0

@@ -1,0 +1,36 @@
+"""Figure 5: ZKCanopus vs ZooKeeper throughput / completion-time curves.
+
+The paper runs both coordination services at 9 and 27 nodes with a
+read-heavy workload; ZooKeeper (5 followers + observers, every write
+through one leader) plateaus while ZKCanopus keeps scaling.
+"""
+
+from benchmarks.common import BENCH_NODE_COUNTS, SINGLE_DC_PROFILE, run_once
+from repro.bench.experiments import figure5_zookeeper_comparison
+from repro.bench.report import format_results
+
+
+def test_fig5_throughput_latency_curves(benchmark):
+    results = run_once(
+        benchmark,
+        figure5_zookeeper_comparison,
+        node_counts=BENCH_NODE_COUNTS,
+        profile=SINGLE_DC_PROFILE,
+    )
+    print()
+    print("Figure 5: throughput vs median completion time (per offered-rate point)")
+    print(
+        format_results(
+            results,
+            ["system", "nodes", "offered_rate_hz", "throughput_rps", "median_completion_ms"],
+        )
+    )
+
+    def best_goodput(system, nodes):
+        rows = [r for r in results if r["system"] == system and r["nodes"] == nodes]
+        return max(r["throughput_rps"] for r in rows)
+
+    # ZKCanopus sustains at least as much load as ZooKeeper at the largest
+    # node count, where the leader handles every write for all replicas.
+    largest = max(BENCH_NODE_COUNTS)
+    assert best_goodput("zkcanopus", largest) >= 0.9 * best_goodput("zookeeper", largest)

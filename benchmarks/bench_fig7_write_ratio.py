@@ -1,0 +1,26 @@
+"""Figure 7: sensitivity to the write ratio (3 datacenters, 9 nodes).
+
+Canopus throughput grows as the workload becomes more read-heavy (reads are
+answered locally); EPaxos is insensitive to the write ratio because it
+replicates reads and writes alike.
+"""
+
+from benchmarks.common import MULTI_DC_PROFILE, run_once
+from repro.bench.experiments import figure7_write_ratio
+from repro.bench.report import format_results
+
+
+def test_fig7_write_ratio_sweep(benchmark):
+    results = run_once(
+        benchmark,
+        figure7_write_ratio,
+        write_ratios=(0.01, 0.2, 0.5),
+        profile=MULTI_DC_PROFILE,
+    )
+    print()
+    print("Figure 7: throughput vs write ratio (3 datacenters)")
+    print(format_results(results, ["system", "write_ratio", "throughput_rps", "median_completion_ms"]))
+
+    canopus = {row["write_ratio"]: row["throughput_rps"] for row in results if row["system"] == "canopus"}
+    # More read-heavy -> at least as much throughput.
+    assert canopus[0.01] >= 0.9 * canopus[0.5]

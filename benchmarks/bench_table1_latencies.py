@@ -1,0 +1,52 @@
+"""Table 1: inter-datacenter latencies.
+
+Table 1 is an input to the evaluation rather than a result, so this
+benchmark (a) prints the matrix the simulator is configured with and
+(b) validates that simulated host-to-host delivery times across each pair
+of regions are dominated by exactly those latencies.
+"""
+
+import pytest
+
+from benchmarks.common import run_once
+from repro.bench.experiments import table1_latency_matrix
+from repro.bench.report import format_results
+from repro.sim.engine import Simulator
+from repro.sim.latencies import EC2_REGIONS, latency_s
+from repro.sim.topology import build_multi_datacenter
+
+
+def measure_pairwise_delivery():
+    """One-way delivery time between the first hosts of every region pair."""
+    simulator = Simulator(seed=2)
+    topology = build_multi_datacenter(simulator, datacenter_count=len(EC2_REGIONS))
+    arrivals = {}
+    hosts = {dc.region: dc.server_hosts[0] for dc in topology.datacenters}
+    for dst_region, dst_host in hosts.items():
+        topology.network.hosts[dst_host].set_handler(
+            lambda sender, payload, dst=dst_region: arrivals.__setitem__(payload, simulator.now)
+        )
+    sent_at = {}
+    for src_region, src_host in hosts.items():
+        for dst_region, dst_host in hosts.items():
+            if src_region == dst_region:
+                continue
+            tag = f"{src_region}->{dst_region}"
+            sent_at[tag] = simulator.now
+            topology.network.hosts[src_host].send(dst_host, tag, 16)
+    simulator.run()
+    return {tag: arrivals[tag] - sent_at[tag] for tag in sent_at}
+
+
+def test_table1_latency_matrix(benchmark):
+    deliveries = run_once(benchmark, measure_pairwise_delivery)
+    rows = table1_latency_matrix()
+    print()
+    print("Table 1: configured inter-datacenter latencies (ms)")
+    print(format_results(rows, ["region", *EC2_REGIONS]))
+
+    for tag, measured in deliveries.items():
+        src, dst = tag.split("->")
+        configured = latency_s(src, dst)
+        assert measured >= configured, f"{tag}: delivered faster than the WAN latency"
+        assert measured <= configured + 0.01, f"{tag}: delivery much slower than Table 1"

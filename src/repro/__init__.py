@@ -1,0 +1,30 @@
+"""repro: a reproduction of *Canopus: A Scalable and Massively Parallel
+Consensus Protocol* (Rizvi, Wong, Keshav — CoNEXT 2017).
+
+The package contains the Canopus protocol (:mod:`repro.canopus`), the
+substrates it depends on (a Raft implementation used for intra-super-leaf
+reliable broadcast, a ZooKeeper-style key-value store, a deterministic
+discrete-event network simulator and an asyncio transport), the baselines
+the paper compares against (EPaxos and ZooKeeper/Zab), and the workload /
+measurement / experiment harness that regenerates every table and figure of
+the paper's evaluation.
+
+See ``examples/quickstart.py`` for a complete runnable example and
+``DESIGN.md`` / ``EXPERIMENTS.md`` for the system inventory and the
+paper-vs-measured record.
+"""
+
+__version__ = "1.0.0"
+
+from repro.canopus import CanopusCluster, CanopusConfig, CanopusNode
+from repro.canopus.messages import ClientReply, ClientRequest, RequestType
+
+__all__ = [
+    "__version__",
+    "CanopusCluster",
+    "CanopusConfig",
+    "CanopusNode",
+    "ClientRequest",
+    "ClientReply",
+    "RequestType",
+]

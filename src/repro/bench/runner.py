@@ -1,0 +1,229 @@
+"""Running workloads against a system-under-test and measuring them.
+
+The runner follows the paper's methodology (§8.1 "Performance metrics"):
+
+* drive the system with an open-loop Poisson workload at a given aggregate
+  rate,
+* discard a warm-up and cool-down window and summarize the steady state,
+* to find the maximum throughput, increase the rate until the median
+  request completion time exceeds a threshold (the paper uses 10 ms; the
+  scaled simulator uses a configurable equivalent) and report the last
+  rate point before that,
+* report the median completion time at roughly 70% of the maximum
+  throughput as the representative operating point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.builders import SystemUnderTest, build_system, make_multi_dc_topology, make_single_dc_topology
+from repro.canopus.config import CanopusConfig
+from repro.epaxos.node import EPaxosConfig
+from repro.metrics.collector import RunSummary
+from repro.sim.engine import Simulator
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+from repro.zab.node import ZabConfig
+
+__all__ = ["ExperimentProfile", "RatePointResult", "run_rate_point", "find_max_throughput"]
+
+
+@dataclass
+class ExperimentProfile:
+    """How long / how hard to run each measurement.
+
+    The ``quick`` profile is what the pytest benchmarks use; the ``full``
+    profile is what EXPERIMENTS.md numbers were produced with.
+    """
+
+    warmup_s: float = 0.15
+    measure_s: float = 0.5
+    cooldown_s: float = 0.05
+    client_processes: int = 60
+    #: Rate ladder (requests/second) used by the max-throughput search.
+    rate_ladder: Sequence[float] = (3000, 8000, 16000, 28000, 40000)
+    #: Median-completion-time threshold that ends the search (seconds).
+    latency_threshold_s: float = 0.030
+    #: A rate point is also considered saturated when fewer than this
+    #: fraction of the requests submitted in the window complete in it
+    #: (open-loop goodput collapse, e.g. a Zab leader's write queue).
+    min_goodput_ratio: float = 0.85
+    seed: int = 7
+
+    @classmethod
+    def quick(cls) -> "ExperimentProfile":
+        return cls(
+            warmup_s=0.1,
+            measure_s=0.3,
+            cooldown_s=0.05,
+            client_processes=36,
+            rate_ladder=(3000, 10000, 24000),
+            latency_threshold_s=0.030,
+        )
+
+    @classmethod
+    def wan(cls) -> "ExperimentProfile":
+        """Profile for the multi-datacenter experiments (Figures 6 and 7).
+
+        Wide-area completion times are bounded below by the Table 1 RTTs
+        (130–320 ms), so the measurement window is longer and the latency
+        threshold is set relative to the base WAN latency (the paper marks
+        the point where latency reaches 1.5x the base latency).
+        """
+        return cls(
+            warmup_s=0.7,
+            measure_s=1.2,
+            cooldown_s=0.1,
+            client_processes=60,
+            rate_ladder=(2000, 6000, 12000, 20000),
+            latency_threshold_s=0.600,
+            min_goodput_ratio=0.80,
+        )
+
+    @classmethod
+    def full(cls) -> "ExperimentProfile":
+        return cls(
+            warmup_s=0.25,
+            measure_s=0.8,
+            cooldown_s=0.1,
+            client_processes=90,
+            rate_ladder=(3000, 6000, 12000, 20000, 28000, 40000),
+            latency_threshold_s=0.030,
+        )
+
+
+@dataclass
+class RatePointResult:
+    """Result of one workload rate point against one system."""
+
+    system: str
+    aggregate_rate_hz: float
+    write_ratio: float
+    node_count: int
+    summary: RunSummary
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.summary.throughput_rps
+
+    @property
+    def median_completion_ms(self) -> float:
+        return self.summary.median_completion_s * 1000
+
+    def as_dict(self) -> Dict[str, float]:
+        data = {
+            "system": self.system,
+            "offered_rate_hz": self.aggregate_rate_hz,
+            "write_ratio": self.write_ratio,
+            "node_count": self.node_count,
+        }
+        data.update(self.summary.as_dict())
+        return data
+
+
+TopologyFactory = Callable[[Simulator], "object"]
+
+
+def run_rate_point(
+    system: str,
+    topology_factory: TopologyFactory,
+    rate_hz: float,
+    write_ratio: float,
+    profile: Optional[ExperimentProfile] = None,
+    canopus_config: Optional[CanopusConfig] = None,
+    epaxos_config: Optional[EPaxosConfig] = None,
+    zab_config: Optional[ZabConfig] = None,
+    multi_dc: bool = False,
+) -> RatePointResult:
+    """Build a fresh simulator + system + workload and measure one rate point."""
+    profile = profile or ExperimentProfile.quick()
+    simulator = Simulator(seed=profile.seed)
+    topology = topology_factory(simulator)
+    sut = build_system(
+        system,
+        topology,
+        canopus_config=canopus_config,
+        epaxos_config=epaxos_config,
+        zab_config=zab_config,
+    )
+    workload_config = WorkloadConfig(
+        client_processes=profile.client_processes,
+        aggregate_rate_hz=rate_hz,
+        write_ratio=write_ratio,
+        key_count=10_000,
+        seed=profile.seed,
+    )
+    generator = WorkloadGenerator(topology, workload_config)
+    collector = generator.build()
+
+    sut.start()
+    generator.start()
+
+    window_start = profile.warmup_s
+    window_end = profile.warmup_s + profile.measure_s
+    simulator.run_until(window_end)
+    generator.stop()
+    simulator.run_until(window_end + profile.cooldown_s)
+    sut.stop()
+
+    summary = collector.summarize(window_start, window_end)
+    return RatePointResult(
+        system=system,
+        aggregate_rate_hz=rate_hz,
+        write_ratio=write_ratio,
+        node_count=len(topology.server_hosts),
+        summary=summary,
+    )
+
+
+def find_max_throughput(
+    system: str,
+    topology_factory: TopologyFactory,
+    write_ratio: float,
+    profile: Optional[ExperimentProfile] = None,
+    canopus_config: Optional[CanopusConfig] = None,
+    epaxos_config: Optional[EPaxosConfig] = None,
+    zab_config: Optional[ZabConfig] = None,
+) -> Tuple[RatePointResult, List[RatePointResult]]:
+    """Walk the rate ladder until the latency threshold is exceeded.
+
+    Returns the best rate point (highest measured throughput with median
+    completion time under the threshold) and the full list of points, which
+    the throughput-latency figures (5 and 6) plot directly.
+    """
+    profile = profile or ExperimentProfile.quick()
+    points: List[RatePointResult] = []
+    best: Optional[RatePointResult] = None
+    for rate in profile.rate_ladder:
+        point = run_rate_point(
+            system,
+            topology_factory,
+            rate_hz=rate,
+            write_ratio=write_ratio,
+            profile=profile,
+            canopus_config=canopus_config,
+            epaxos_config=epaxos_config,
+            zab_config=zab_config,
+        )
+        points.append(point)
+        summary = point.summary
+        goodput_ratio = (
+            summary.requests_completed / summary.requests_submitted
+            if summary.requests_submitted
+            else 1.0
+        )
+        saturated = (
+            summary.median_completion_s > profile.latency_threshold_s
+            or goodput_ratio < profile.min_goodput_ratio
+        )
+        if not saturated:
+            if best is None or point.throughput_rps > best.throughput_rps:
+                best = point
+        else:
+            # The paper stops once completion time exceeds the threshold and
+            # keeps the last point as the maximum-throughput result.
+            break
+    if best is None:
+        best = points[-1]
+    return best, points

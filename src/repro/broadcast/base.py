@@ -1,0 +1,89 @@
+"""Abstract reliable-broadcast interface used inside a super-leaf."""
+
+from __future__ import annotations
+
+import abc
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, List, Sequence
+
+from repro.runtime.base import Runtime
+
+__all__ = ["BroadcastEnvelope", "ReliableBroadcast"]
+
+_envelope_ids = itertools.count(1)
+
+
+@dataclass
+class BroadcastEnvelope:
+    """Wrapper identifying a payload as intra-super-leaf broadcast traffic."""
+
+    origin: str
+    sequence: int
+    payload: Any
+    envelope_id: int
+
+    def wire_size(self) -> int:
+        inner = getattr(self.payload, "wire_size", None)
+        return (int(inner()) if callable(inner) else 64) + 24
+
+
+class ReliableBroadcast(abc.ABC):
+    """Reliable broadcast among the members of one super-leaf.
+
+    Guarantees (assumption A4 of the paper): validity, integrity and
+    agreement — if any correct member delivers a payload, every correct
+    member delivers it, and payloads from one origin are delivered in the
+    order they were broadcast.
+    """
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        peers: Sequence[str],
+        deliver: Callable[[str, Any], None],
+    ) -> None:
+        self.runtime = runtime
+        self.node_id = runtime.node_id
+        self.peers: List[str] = [p for p in peers if p != runtime.node_id]
+        self.deliver = deliver
+        self._sequence = itertools.count(1)
+        self.broadcasts_sent = 0
+        self.payloads_delivered = 0
+
+    @property
+    def group_size(self) -> int:
+        return len(self.peers) + 1
+
+    def next_envelope(self, payload: Any) -> BroadcastEnvelope:
+        return BroadcastEnvelope(
+            origin=self.node_id,
+            sequence=next(self._sequence),
+            payload=payload,
+            envelope_id=next(_envelope_ids),
+        )
+
+    @abc.abstractmethod
+    def broadcast(self, payload: Any) -> None:
+        """Reliably broadcast ``payload`` to all super-leaf members (incl. self)."""
+
+    @abc.abstractmethod
+    def handles(self, message: Any) -> bool:
+        """Return True if ``message`` belongs to this broadcast layer."""
+
+    @abc.abstractmethod
+    def on_message(self, sender: str, message: Any) -> None:
+        """Process a broadcast-layer message."""
+
+    @abc.abstractmethod
+    def remove_peer(self, peer: str) -> None:
+        """Drop a failed peer from the broadcast group."""
+
+    def add_peer(self, peer: str) -> None:
+        """Add a joined peer to the broadcast group."""
+        if peer != self.node_id and peer not in self.peers:
+            self.peers.append(peer)
+
+    def _local_deliver(self, origin: str, payload: Any) -> None:
+        self.payloads_delivered += 1
+        self.deliver(origin, payload)

@@ -1,0 +1,142 @@
+"""Raft-based reliable broadcast within a super-leaf (§4.3).
+
+Every super-leaf member creates its own dedicated Raft group and is the
+initial leader of that group; all other members are followers.  A node
+broadcasts a payload by appending it to its own group's log; the payload is
+delivered at each member when the entry commits on that member.  If a node
+fails, the other members of its group elect a new leader, which completes
+any incomplete replication, after which the group is retired.
+
+Reliable broadcast therefore tolerates F failures with 2F+1 members — if
+more than F members of a super-leaf fail, the super-leaf fails and the
+consensus process halts, matching the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Sequence
+
+from repro.broadcast.base import ReliableBroadcast
+from repro.raft.log import LogEntry
+from repro.raft.messages import RAFT_MESSAGE_TYPES
+from repro.raft.node import RaftConfig, RaftNode
+from repro.runtime.base import Runtime
+
+__all__ = ["RaftBroadcast"]
+
+
+class RaftBroadcast(ReliableBroadcast):
+    """One Raft group per super-leaf member, demultiplexed by group id."""
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        peers: Sequence[str],
+        deliver: Callable[[str, Any], None],
+        raft_config: RaftConfig | None = None,
+    ) -> None:
+        super().__init__(runtime, peers, deliver)
+        # Broadcast groups do not need aggressive heartbeats: commit indices
+        # are pushed eagerly on every append, and Canopus runs its own
+        # failure detector.  A slow heartbeat keeps idle traffic low.
+        self._raft_config = raft_config or RaftConfig(
+            heartbeat_interval_s=0.1,
+            election_timeout_min_s=0.3,
+            election_timeout_max_s=0.6,
+        )
+        self.groups: Dict[str, RaftNode] = {}
+        members = sorted(set(list(self.peers) + [self.node_id]))
+        for owner in members:
+            self._create_group(owner, members)
+
+    # ------------------------------------------------------------------
+    def _group_id(self, owner: str) -> str:
+        return f"slbc:{owner}"
+
+    def _create_group(self, owner: str, members: Sequence[str]) -> None:
+        group_id = self._group_id(owner)
+        config = RaftConfig(
+            heartbeat_interval_s=self._raft_config.heartbeat_interval_s,
+            election_timeout_min_s=self._raft_config.election_timeout_min_s,
+            election_timeout_max_s=self._raft_config.election_timeout_max_s,
+            initial_leader=owner,
+        )
+        node = RaftNode(
+            runtime=self.runtime,
+            group_id=group_id,
+            members=list(members),
+            apply=lambda entry, _owner=owner: self._on_commit(_owner, entry),
+            config=config,
+        )
+        self.groups[owner] = node
+
+    def _on_commit(self, owner: str, entry: LogEntry) -> None:
+        self._local_deliver(owner, entry.command)
+
+    # ------------------------------------------------------------------
+    # ReliableBroadcast interface
+    # ------------------------------------------------------------------
+    def broadcast(self, payload: Any) -> None:
+        self.broadcasts_sent += 1
+        own_group = self.groups[self.node_id]
+        if not own_group.is_leader:
+            # After a failure/recovery our group may have elected another
+            # leader; re-assert leadership lazily by routing through it.
+            leader = own_group.leader_id or self.node_id
+            if leader != self.node_id and leader in self.peers:
+                # Fall back to delivering via the current leader of our group.
+                self.runtime.send(leader, _ForwardedBroadcast(self._group_id(self.node_id), payload))
+                return
+        own_group.propose(payload)
+
+    def handles(self, message: Any) -> bool:
+        if isinstance(message, _ForwardedBroadcast):
+            return True
+        return isinstance(message, RAFT_MESSAGE_TYPES) and message.group_id.startswith("slbc:")
+
+    def on_message(self, sender: str, message: Any) -> None:
+        if isinstance(message, _ForwardedBroadcast):
+            owner = message.group_id.split(":", 1)[1]
+            group = self.groups.get(owner)
+            if group is not None and group.is_leader:
+                group.propose(message.payload)
+            return
+        for group in self.groups.values():
+            if group.handles(message):
+                group.on_message(sender, message)
+                return
+
+    def remove_peer(self, peer: str) -> None:
+        if peer in self.peers:
+            self.peers.remove(peer)
+        # Remove the failed member from every group; its own group keeps
+        # running so a new leader can finish incomplete replication.
+        for group in self.groups.values():
+            group.remove_member(peer)
+
+    def add_peer(self, peer: str) -> None:
+        super().add_peer(peer)
+        members = sorted(set(list(self.peers) + [self.node_id]))
+        if peer not in self.groups:
+            self._create_group(peer, members)
+        for group in self.groups.values():
+            if peer not in group.members:
+                group.members.append(peer)
+                group.next_index[peer] = group.log.last_index + 1
+                group.match_index[peer] = 0
+
+    def stop(self) -> None:
+        for group in self.groups.values():
+            group.stop()
+
+
+class _ForwardedBroadcast:
+    """Payload forwarded to the current leader of the sender's group."""
+
+    def __init__(self, group_id: str, payload: Any) -> None:
+        self.group_id = group_id
+        self.payload = payload
+
+    def wire_size(self) -> int:
+        inner = getattr(self.payload, "wire_size", None)
+        return (int(inner()) if callable(inner) else 64) + 24

@@ -1,0 +1,48 @@
+"""Canopus: the paper's primary contribution.
+
+The package implements the full protocol described in §4–§7 of the paper:
+
+* :mod:`repro.canopus.lot` — the Leaf-Only Tree overlay, super-leaves,
+  emulation table, and representative assignment.
+* :mod:`repro.canopus.messages` — proposal, proposal-request and client
+  message types with wire-size accounting.
+* :mod:`repro.canopus.proposal` — proposal ordering and vnode-state merging.
+* :mod:`repro.canopus.cycle` — per-consensus-cycle bookkeeping (rounds,
+  buffered proposal-requests, fetched vnode states).
+* :mod:`repro.canopus.node` — the Canopus node state machine: consensus
+  cycles, self-synchronization, pipelining, read linearization, commit.
+* :mod:`repro.canopus.linearizer` — read-delay linearization (§5).
+* :mod:`repro.canopus.leases` — the optional write-lease read optimization
+  (§7.2).
+* :mod:`repro.canopus.membership` — emulation-table maintenance and the
+  join/leave protocol (§4.6).
+* :mod:`repro.canopus.cluster` — helpers that wire a set of nodes onto a
+  topology or an asyncio cluster.
+"""
+
+from repro.canopus.config import CanopusConfig
+from repro.canopus.lot import LeafOnlyTree, SuperLeaf, VNode
+from repro.canopus.messages import (
+    ClientReply,
+    ClientRequest,
+    Proposal,
+    ProposalRequest,
+    RequestType,
+)
+from repro.canopus.node import CanopusNode
+from repro.canopus.cluster import CanopusCluster, build_sim_cluster
+
+__all__ = [
+    "CanopusConfig",
+    "LeafOnlyTree",
+    "SuperLeaf",
+    "VNode",
+    "ClientRequest",
+    "ClientReply",
+    "Proposal",
+    "ProposalRequest",
+    "RequestType",
+    "CanopusNode",
+    "CanopusCluster",
+    "build_sim_cluster",
+]

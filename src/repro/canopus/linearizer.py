@@ -1,0 +1,77 @@
+"""Read linearization by delay (§5).
+
+Canopus never disseminates read requests.  A read received while cycle
+``C_j`` is collecting requests is delayed until the cycle that orders the
+concurrently received writes — ``C_{j+1}`` — has committed, at which point
+the node answers it from its local, now totally ordered, replica.  A read
+therefore waits between one and two consensus cycles.
+
+The :class:`ReadLinearizer` tracks pending reads per *release cycle* and per
+client, so the node can both release them at the right commit point and
+preserve each client's FIFO order with respect to its own writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.canopus.messages import ClientRequest
+
+__all__ = ["PendingRead", "ReadLinearizer"]
+
+
+@dataclass
+class PendingRead:
+    """A read request waiting for a consensus cycle to commit."""
+
+    request: ClientRequest
+    sender: str
+    received_at: float
+    release_cycle: int
+
+
+class ReadLinearizer:
+    """Buffers reads until the cycle that linearizes them has committed."""
+
+    def __init__(self) -> None:
+        self._pending: Dict[int, List[PendingRead]] = {}
+        self.reads_buffered = 0
+        self.reads_released = 0
+
+    # ------------------------------------------------------------------
+    def defer(self, request: ClientRequest, sender: str, now: float, release_cycle: int) -> PendingRead:
+        """Buffer ``request`` until ``release_cycle`` commits."""
+        pending = PendingRead(request=request, sender=sender, received_at=now, release_cycle=release_cycle)
+        self._pending.setdefault(release_cycle, []).append(pending)
+        self.reads_buffered += 1
+        return pending
+
+    def postpone(self, pending: PendingRead, new_release_cycle: int) -> None:
+        """Move a buffered read to a later cycle (write-lease conflicts, §7.2)."""
+        bucket = self._pending.get(pending.release_cycle, [])
+        if pending in bucket:
+            bucket.remove(pending)
+        pending.release_cycle = new_release_cycle
+        self._pending.setdefault(new_release_cycle, []).append(pending)
+
+    def release_up_to(self, committed_cycle: int) -> List[PendingRead]:
+        """Return (and remove) all reads whose release cycle has committed.
+
+        Reads are returned in the order they were received at this node,
+        which preserves per-client FIFO order.
+        """
+        released: List[PendingRead] = []
+        for cycle_id in sorted(list(self._pending.keys())):
+            if cycle_id <= committed_cycle:
+                released.extend(self._pending.pop(cycle_id))
+        released.sort(key=lambda p: (p.received_at, p.request.request_id))
+        self.reads_released += len(released)
+        return released
+
+    # ------------------------------------------------------------------
+    def pending_count(self) -> int:
+        return sum(len(bucket) for bucket in self._pending.values())
+
+    def earliest_release_cycle(self) -> Optional[int]:
+        return min(self._pending.keys()) if self._pending else None

@@ -1,0 +1,702 @@
+"""The Canopus node state machine (§4–§7).
+
+A :class:`CanopusNode` is purely reactive: all state transitions happen in
+response to a delivered message or a timer.  The node participates in a
+sequence of *consensus cycles*; each cycle runs ``h`` rounds (h = LOT
+height):
+
+* **Round 1** — the node reliably broadcasts a proposal carrying its
+  pending client writes, its pending membership updates and a fresh random
+  proposal number to its super-leaf peers.  When proposals from every live
+  peer have been delivered, the node merges them into the state of the
+  super-leaf's parent vnode.
+* **Round i > 1** — super-leaf representatives fetch the states of the
+  sibling vnodes under the node's height-*i* ancestor from one of their
+  emulators (a pnode in that subtree) and re-broadcast them locally; once
+  all children states are present, the node merges them into the height-*i*
+  ancestor's state.
+* After round *h* the root state is the total order of every write received
+  anywhere in the group during the previous cycle.  Cycles commit strictly
+  in order; on commit, writes are applied to the local replica, pending
+  reads whose linearization point has passed are answered locally, and
+  membership updates are applied to the emulation table.
+
+Self-synchronization (§4.4), pipelining (§7.1), read linearization by delay
+(§5) and the optional write-lease read optimization (§7.2) are all
+implemented here, delegating bookkeeping to the sibling modules.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.broadcast import make_broadcast
+from repro.broadcast.base import ReliableBroadcast
+from repro.canopus.config import CanopusConfig
+from repro.canopus.cycle import CycleState, FetchState
+from repro.canopus.leases import LeaseTable
+from repro.canopus.linearizer import PendingRead, ReadLinearizer
+from repro.canopus.lot import EmulationTable, LeafOnlyTree
+from repro.canopus.membership import FailureDetector, Heartbeat, JoinRequest, MembershipManager
+from repro.canopus.messages import (
+    ClientReply,
+    ClientRequest,
+    MembershipUpdate,
+    Proposal,
+    ProposalRequest,
+    RequestType,
+)
+from repro.canopus.proposal import merge_proposals
+from repro.runtime.base import Runtime, Timer
+
+__all__ = ["CanopusNode", "CommittedCycle"]
+
+
+class CommittedCycle:
+    """Record of one committed consensus cycle (the unit of the commit log)."""
+
+    __slots__ = ("cycle_id", "requests", "committed_at")
+
+    def __init__(self, cycle_id: int, requests: Tuple[ClientRequest, ...], committed_at: float) -> None:
+        self.cycle_id = cycle_id
+        self.requests = requests
+        self.committed_at = committed_at
+
+    def __repr__(self) -> str:
+        return f"<CommittedCycle {self.cycle_id} |reqs|={len(self.requests)}>"
+
+
+class CanopusNode:
+    """One Canopus participant (a pnode of the LOT)."""
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        lot: LeafOnlyTree,
+        config: Optional[CanopusConfig] = None,
+        apply_write: Optional[Callable[[ClientRequest], Optional[str]]] = None,
+        apply_read: Optional[Callable[[ClientRequest], Optional[str]]] = None,
+        on_reply: Optional[Callable[[ClientReply], None]] = None,
+    ) -> None:
+        self.runtime = runtime
+        self.node_id = runtime.node_id
+        self.lot = lot
+        self.config = config or CanopusConfig()
+        self.config.validate()
+
+        self.super_leaf = lot.super_leaf_of(self.node_id)
+        self.parent_vnode = self.super_leaf.parent_vnode
+        self.emulation_table: EmulationTable = lot.new_emulation_table()
+        self.live_members: Set[str] = set(self.super_leaf.members)
+
+        # Replicated-state-machine hooks.  By default the node keeps a
+        # plain dict replica so it is usable standalone.
+        self._default_store: Dict[str, str] = {}
+        self.apply_write = apply_write or self._default_apply_write
+        self.apply_read = apply_read or self._default_apply_read
+        self.on_reply = on_reply
+
+        # Request intake.
+        self.pending_writes: List[ClientRequest] = []
+        self.request_senders: Dict[int, str] = {}
+        self.linearizer = ReadLinearizer()
+        self.leases = LeaseTable(self.config.lease_cycles)
+
+        # Consensus cycle state.
+        self.cycles: Dict[int, CycleState] = {}
+        self.last_started_cycle = 0
+        self.last_committed_cycle = 0
+        self.commit_log: List[CommittedCycle] = []
+
+        # Statistics used by benchmarks.
+        self.stats: Dict[str, int] = {
+            "reads_served": 0,
+            "writes_committed": 0,
+            "cycles_committed": 0,
+            "proposal_requests_sent": 0,
+            "proposal_requests_served": 0,
+            "fetch_retries": 0,
+            "empty_cycles": 0,
+        }
+
+        # Membership machinery.
+        self.membership = MembershipManager(self.super_leaf.name)
+        self.failure_detector = FailureDetector(
+            runtime=runtime,
+            peers=self.super_leaf.peers_of(self.node_id),
+            heartbeat_interval_s=self.config.heartbeat_interval_s,
+            failure_timeout_s=self.config.failure_timeout_s(),
+            on_failure=self._on_peer_failure,
+        )
+
+        # Reliable broadcast within the super-leaf.
+        self.broadcast: ReliableBroadcast = make_broadcast(
+            self.config.broadcast_mode,
+            runtime,
+            self.super_leaf.members,
+            self._on_broadcast_delivery,
+        )
+
+        self._cycle_timer: Optional[Timer] = None
+        self.running = False
+        self.crashed = False
+
+        runtime.set_handler(self.on_message)
+
+    # ==================================================================
+    # Lifecycle
+    # ==================================================================
+    def start(self) -> None:
+        """Start background timers (failure detector, pipelining clock)."""
+        if self.running:
+            return
+        self.running = True
+        self.failure_detector.start()
+        if self.config.pipelining:
+            self._cycle_timer = self.runtime.periodic(self.config.cycle_interval_s, self._on_cycle_timer)
+
+    def stop(self) -> None:
+        self.running = False
+        self.failure_detector.stop()
+        if self._cycle_timer is not None:
+            self._cycle_timer.cancel()
+            self._cycle_timer = None
+        stop_broadcast = getattr(self.broadcast, "stop", None)
+        if callable(stop_broadcast):
+            stop_broadcast()
+
+    def crash(self) -> None:
+        """Crash-stop this node (used by failure-injection tests)."""
+        self.crashed = True
+        self.stop()
+
+    # ==================================================================
+    # Representatives
+    # ==================================================================
+    def representatives(self) -> List[str]:
+        """Current representatives of this node's super-leaf (§4.5).
+
+        Representatives are the first *k* live members in sorted order;
+        because every member has the same live view at cycle boundaries,
+        this needs no extra communication.
+        """
+        live_sorted = sorted(self.live_members)
+        k = min(self.config.representatives_per_super_leaf, len(live_sorted))
+        return live_sorted[:k]
+
+    def is_representative(self) -> bool:
+        return self.node_id in self.representatives()
+
+    def _fetchers_for(self, vnode_id: str) -> List[str]:
+        """Representatives responsible for fetching ``vnode_id`` this cycle."""
+        reps = self.representatives()
+        if not reps:
+            return []
+        primary = LeafOnlyTree.assign_representative(vnode_id, reps)
+        assigned = [primary]
+        if self.config.redundant_fetches > 1 and len(reps) > 1:
+            index = reps.index(primary)
+            for offset in range(1, self.config.redundant_fetches):
+                candidate = reps[(index + offset) % len(reps)]
+                if candidate not in assigned:
+                    assigned.append(candidate)
+        return assigned
+
+    # ==================================================================
+    # Message handling
+    # ==================================================================
+    def on_message(self, sender: str, message: Any) -> None:
+        """Single entry point for every message delivered to this node."""
+        if self.crashed:
+            return
+        self.failure_detector.observe(sender)
+
+        if isinstance(message, ClientRequest):
+            self._on_client_request(sender, message)
+        elif isinstance(message, ProposalRequest):
+            self._on_proposal_request(sender, message)
+        elif isinstance(message, Proposal):
+            # Direct (non-broadcast) proposal: a reply to a proposal-request.
+            self._on_fetched_proposal(sender, message)
+        elif isinstance(message, Heartbeat):
+            self.failure_detector.on_message(sender, message)
+        elif isinstance(message, JoinRequest):
+            self._on_join_request(sender, message)
+        elif self.broadcast.handles(message):
+            self.broadcast.on_message(sender, message)
+        # Unknown messages are ignored (forward compatibility).
+
+    # ------------------------------------------------------------------
+    # Client requests
+    # ------------------------------------------------------------------
+    def submit(self, request: ClientRequest, sender: Optional[str] = None) -> None:
+        """Submit a client request locally (bypasses the network).
+
+        Replies are delivered through the ``on_reply`` callback; no network
+        reply is sent unless an explicit ``sender`` host is given.
+        """
+        self._on_client_request(sender or self.node_id, request)
+
+    def _on_client_request(self, sender: str, request: ClientRequest) -> None:
+        request.submitted_at = request.submitted_at or self.runtime.now()
+        self.request_senders[request.request_id] = sender
+        if request.is_write():
+            self.pending_writes.append(request)
+            if len(self.pending_writes) >= self.config.max_batch_size:
+                self._maybe_start_next_cycle(reason="batch-full")
+            elif not self.config.pipelining:
+                self._maybe_start_next_cycle(reason="client-request")
+            elif self.last_started_cycle == self.last_committed_cycle:
+                # Idle node: a client request prompts a new cycle (§4.4).
+                self._maybe_start_next_cycle(reason="client-request")
+        else:
+            self._handle_read(sender, request)
+
+    def _handle_read(self, sender: str, request: ClientRequest) -> None:
+        now = self.runtime.now()
+        if self.config.write_leases and not self.leases.lease_active(request.key, self.last_started_cycle + 1):
+            # §7.2: no active write lease for this key — answer immediately
+            # from committed state.
+            self._reply_read(sender, request, committed_cycle=self.last_committed_cycle)
+            return
+        # §5: delay the read until the cycle that orders the concurrently
+        # received writes (the next cycle to start) has committed.
+        release_cycle = self.last_started_cycle + 1
+        self.linearizer.defer(request, sender, now, release_cycle)
+        if self.last_started_cycle == self.last_committed_cycle:
+            # Idle node: a read also prompts the next cycle (§4.4).
+            self._maybe_start_next_cycle(reason="read-request")
+
+    def _reply_read(self, sender: str, request: ClientRequest, committed_cycle: int) -> None:
+        value = self.apply_read(request)
+        self.stats["reads_served"] += 1
+        self._send_reply(sender, request, value, committed_cycle)
+
+    def _send_reply(
+        self, sender: str, request: ClientRequest, value: Optional[str], committed_cycle: Optional[int]
+    ) -> None:
+        reply = ClientReply(
+            request_id=request.request_id,
+            client_id=request.client_id,
+            op=request.op,
+            key=request.key,
+            value=value,
+            committed_cycle=committed_cycle,
+            completed_at=self.runtime.now(),
+            server_id=self.node_id,
+        )
+        if self.on_reply is not None:
+            self.on_reply(reply)
+        if sender and sender != self.node_id:
+            self.runtime.send(sender, reply, reply.wire_size())
+
+    # ------------------------------------------------------------------
+    # Default replica (plain dict) when no external state machine is wired.
+    # ------------------------------------------------------------------
+    def _default_apply_write(self, request: ClientRequest) -> Optional[str]:
+        self._default_store[request.key] = request.value or ""
+        return request.value
+
+    def _default_apply_read(self, request: ClientRequest) -> Optional[str]:
+        return self._default_store.get(request.key)
+
+    # ==================================================================
+    # Consensus cycle management
+    # ==================================================================
+    def _on_cycle_timer(self) -> None:
+        """Periodic pipelining clock (§7.1): bound the cycle start offset."""
+        if not self.running:
+            return
+        has_work = bool(self.pending_writes) or self.linearizer.pending_count() > 0
+        in_progress = self.last_started_cycle > self.last_committed_cycle
+        if has_work or in_progress:
+            self._maybe_start_next_cycle(reason="timer")
+
+    def _maybe_start_next_cycle(self, reason: str) -> None:
+        if self.crashed:
+            return
+        if self.config.pipelining:
+            inflight = self.last_started_cycle - self.last_committed_cycle
+            if inflight >= self.config.max_inflight_cycles:
+                return
+        else:
+            if self.last_started_cycle > self.last_committed_cycle:
+                return
+        self._start_cycle(self.last_started_cycle + 1)
+
+    def _start_cycle(self, cycle_id: int) -> None:
+        """Start ``cycle_id`` (must be the next cycle in sequence)."""
+        if cycle_id != self.last_started_cycle + 1:
+            return
+        self.last_started_cycle = cycle_id
+        state = self.cycles.get(cycle_id)
+        if state is None:
+            state = self._new_cycle_state(cycle_id)
+            self.cycles[cycle_id] = state
+        else:
+            state.expected_members = set(self.live_members)
+        state.started_at = self.runtime.now()
+
+        # Batch pending writes and membership updates into this cycle.
+        batch, self.pending_writes = self.pending_writes, []
+        updates = tuple(self.membership.take_pending())
+        state.own_requests = tuple(batch)
+        state.own_membership_updates = updates
+        if not batch:
+            self.stats["empty_cycles"] += 1
+
+        proposal = Proposal(
+            cycle_id=cycle_id,
+            round_number=1,
+            vnode_id=self.node_id,
+            sender=self.node_id,
+            proposal_number=self.runtime.rng.getrandbits(self.config.proposal_number_bits),
+            requests=tuple(batch),
+            membership_updates=updates,
+        )
+        self.broadcast.broadcast(proposal)
+        self._check_round_completion(state)
+
+    def _new_cycle_state(self, cycle_id: int) -> CycleState:
+        return CycleState(
+            cycle_id=cycle_id,
+            total_rounds=self.lot.rounds(),
+            expected_members=set(self.live_members),
+            started_at=self.runtime.now(),
+        )
+
+    def _cycle_state(self, cycle_id: int) -> CycleState:
+        """Cycle state for ``cycle_id``, creating a placeholder if needed.
+
+        A placeholder is created when messages for a future cycle arrive
+        before this node started that cycle (self-synchronization, §4.4).
+        """
+        state = self.cycles.get(cycle_id)
+        if state is None:
+            state = self._new_cycle_state(cycle_id)
+            self.cycles[cycle_id] = state
+        return state
+
+    def _self_synchronize(self, observed_cycle: int) -> None:
+        """React to evidence that a newer cycle is under way (§4.4, §7.1).
+
+        Cycles are always started in sequence: observing cycle ``j >= i+2``
+        still only starts cycle ``i+1``.
+        """
+        while self.last_started_cycle < observed_cycle:
+            next_cycle = self.last_started_cycle + 1
+            if self.config.pipelining:
+                inflight = self.last_started_cycle - self.last_committed_cycle
+                if inflight >= self.config.max_inflight_cycles:
+                    break
+            self._start_cycle(next_cycle)
+            if self.last_started_cycle != next_cycle:
+                break
+
+    # ------------------------------------------------------------------
+    # Broadcast deliveries (round-1 proposals and re-broadcast fetches)
+    # ------------------------------------------------------------------
+    def _on_broadcast_delivery(self, origin: str, payload: Any) -> None:
+        if self.crashed or not isinstance(payload, Proposal):
+            return
+        proposal = payload
+        if proposal.cycle_id > self.last_started_cycle:
+            self._self_synchronize(proposal.cycle_id)
+        state = self._cycle_state(proposal.cycle_id)
+        if proposal.round_number == 1:
+            if state.record_round1(proposal):
+                self._check_round_completion(state)
+        else:
+            if state.record_vnode_state(proposal):
+                self._serve_buffered_requests(state, proposal.vnode_id)
+                self._check_round_completion(state)
+
+    # ------------------------------------------------------------------
+    # Proposal requests (remote super-leaves asking for vnode state)
+    # ------------------------------------------------------------------
+    def _on_proposal_request(self, sender: str, request: ProposalRequest) -> None:
+        if request.cycle_id > self.last_started_cycle:
+            self._self_synchronize(request.cycle_id)
+        state = self._cycle_state(request.cycle_id)
+        vnode_id = request.vnode_id
+        available = state.vnode_states.get(vnode_id)
+        if available is not None:
+            self._send_vnode_state(sender, state, available)
+        else:
+            # Buffer until this node finishes the round that computes it
+            # (event 3 in Figure 2).
+            state.buffer_request(vnode_id, sender)
+
+    def _send_vnode_state(self, requester: str, state: CycleState, vnode_state: Proposal) -> None:
+        reply = Proposal(
+            cycle_id=state.cycle_id,
+            round_number=max(2, vnode_state.round_number),
+            vnode_id=vnode_state.vnode_id,
+            sender=self.node_id,
+            proposal_number=vnode_state.proposal_number,
+            requests=vnode_state.requests,
+            membership_updates=vnode_state.membership_updates,
+        )
+        self.stats["proposal_requests_served"] += 1
+        self.runtime.send(requester, reply, reply.wire_size())
+
+    def _serve_buffered_requests(self, state: CycleState, vnode_id: str) -> None:
+        vnode_state = state.vnode_states.get(vnode_id)
+        if vnode_state is None:
+            return
+        for requester in state.drain_buffered(vnode_id):
+            self._send_vnode_state(requester, state, vnode_state)
+
+    # ------------------------------------------------------------------
+    # Fetched proposals (replies to this node's proposal-requests)
+    # ------------------------------------------------------------------
+    def _on_fetched_proposal(self, sender: str, proposal: Proposal) -> None:
+        if proposal.cycle_id > self.last_started_cycle:
+            self._self_synchronize(proposal.cycle_id)
+        state = self._cycle_state(proposal.cycle_id)
+        fetch = state.fetches.get(proposal.vnode_id)
+        if fetch is not None and not fetch.satisfied:
+            fetch.satisfied = True
+            if fetch.timer is not None:
+                fetch.timer.cancel()
+        if state.has_vnode_state(proposal.vnode_id):
+            return
+        # Re-broadcast the fetched state to super-leaf peers (§4.2); the
+        # state is recorded when the broadcast is delivered back to us,
+        # keeping delivery order identical at every member.
+        self.broadcast.broadcast(proposal)
+
+    # ------------------------------------------------------------------
+    # Round progression
+    # ------------------------------------------------------------------
+    def _check_round_completion(self, state: CycleState) -> None:
+        """Advance through as many rounds as the available state allows."""
+        progressed = True
+        while progressed and not state.completed:
+            progressed = False
+            round_number = state.current_round
+            if round_number == 1:
+                if state.round1_complete() and state.round1_proposals:
+                    self._complete_round1(state)
+                    progressed = True
+            else:
+                ancestor = self.lot.ancestor_at_height(self.node_id, min(round_number, self.lot.height))
+                children = self.lot.children_of(ancestor)
+                if children and all(state.has_vnode_state(child) for child in children):
+                    self._complete_round(state, round_number, ancestor, children)
+                    progressed = True
+
+    def _complete_round1(self, state: CycleState) -> None:
+        proposals = list(state.round1_proposals.values())
+        merged = merge_proposals(
+            cycle_id=state.cycle_id,
+            round_number=2,
+            vnode_id=self.parent_vnode,
+            sender=self.node_id,
+            proposals=proposals,
+        )
+        state.record_vnode_state(merged)
+        self._serve_buffered_requests(state, self.parent_vnode)
+        if self.lot.rounds() == 1 or self.parent_vnode == self.lot.ROOT_ID:
+            state.completed = True
+            state.completed_at = self.runtime.now()
+            self._try_commit()
+            return
+        state.current_round = 2
+        self._begin_fetch_round(state, 2)
+        self._check_round_completion(state)
+
+    def _complete_round(self, state: CycleState, round_number: int, ancestor: str, children: List[str]) -> None:
+        merged = merge_proposals(
+            cycle_id=state.cycle_id,
+            round_number=round_number + 1,
+            vnode_id=ancestor,
+            sender=self.node_id,
+            proposals=[state.vnode_state(child) for child in children],
+        )
+        state.record_vnode_state(merged)
+        self._serve_buffered_requests(state, ancestor)
+        if round_number >= state.total_rounds or ancestor == self.lot.ROOT_ID:
+            state.completed = True
+            state.completed_at = self.runtime.now()
+            self._try_commit()
+            return
+        state.current_round = round_number + 1
+        self._begin_fetch_round(state, state.current_round)
+
+    def _begin_fetch_round(self, state: CycleState, round_number: int) -> None:
+        """Issue proposal-requests for the vnodes needed in ``round_number``."""
+        required = self.lot.required_vnodes(self.node_id, round_number)
+        for vnode_id in required:
+            if state.has_vnode_state(vnode_id):
+                continue
+            fetchers = self._fetchers_for(vnode_id)
+            if self.node_id in fetchers:
+                self._issue_fetch(state, vnode_id, attempt=1)
+
+    def _issue_fetch(self, state: CycleState, vnode_id: str, attempt: int) -> None:
+        if state.has_vnode_state(vnode_id) or self.crashed:
+            return
+        emulators = [
+            node
+            for node in self.emulation_table.emulators(vnode_id)
+            if not self.failure_detector.is_suspected(node)
+        ]
+        if not emulators:
+            # No live emulator known: the consensus process stalls for this
+            # super-leaf (§6); retry later in case the table was stale.
+            timer = self.runtime.after(
+                self.config.fetch_timeout_s, lambda: self._issue_fetch(state, vnode_id, attempt + 1)
+            )
+            state.fetches[vnode_id] = FetchState(
+                vnode_id=vnode_id, emulator="", issued_at=self.runtime.now(), attempts=attempt, timer=timer
+            )
+            return
+        # Spread redundant fetchers across distinct emulators, and rotate on
+        # retries so a crashed emulator is eventually skipped.
+        fetchers = self._fetchers_for(vnode_id)
+        rank = fetchers.index(self.node_id) if self.node_id in fetchers else 0
+        emulator = emulators[(rank + attempt - 1) % len(emulators)]
+        request = ProposalRequest(
+            cycle_id=state.cycle_id,
+            round_number=state.current_round,
+            vnode_id=vnode_id,
+            requester=self.node_id,
+        )
+        self.stats["proposal_requests_sent"] += 1
+        if attempt > 1:
+            self.stats["fetch_retries"] += 1
+        self.runtime.send(emulator, request, request.wire_size())
+        timer = self.runtime.after(
+            self.config.fetch_timeout_s, lambda: self._on_fetch_timeout(state, vnode_id)
+        )
+        state.fetches[vnode_id] = FetchState(
+            vnode_id=vnode_id,
+            emulator=emulator,
+            issued_at=self.runtime.now(),
+            attempts=attempt,
+            timer=timer,
+        )
+
+    def _on_fetch_timeout(self, state: CycleState, vnode_id: str) -> None:
+        fetch = state.fetches.get(vnode_id)
+        if fetch is None or fetch.satisfied or state.has_vnode_state(vnode_id) or self.crashed:
+            return
+        self._issue_fetch(state, vnode_id, attempt=fetch.attempts + 1)
+
+    # ------------------------------------------------------------------
+    # Commit
+    # ------------------------------------------------------------------
+    def _try_commit(self) -> None:
+        """Commit completed cycles strictly in cycle order (§7.1)."""
+        while True:
+            next_cycle = self.last_committed_cycle + 1
+            state = self.cycles.get(next_cycle)
+            if state is None or not state.completed or state.committed:
+                break
+            self._commit_cycle(state)
+
+    def _commit_cycle(self, state: CycleState) -> None:
+        root_vnode = self.lot.ROOT_ID if self.lot.rounds() > 1 else self.parent_vnode
+        root_state = state.root_state(root_vnode) or state.root_state(self.parent_vnode)
+        requests = root_state.requests if root_state is not None else ()
+        now = self.runtime.now()
+
+        # Apply writes in the agreed total order.
+        written_keys = []
+        for request in requests:
+            if request.is_write():
+                value = self.apply_write(request)
+                written_keys.append(request.key)
+                self.stats["writes_committed"] += 1
+                sender = self.request_senders.pop(request.request_id, None)
+                if sender is not None:
+                    self._send_reply(sender, request, value, state.cycle_id)
+
+        # Membership updates agreed in this cycle take effect now (§4.6).
+        if root_state is not None and root_state.membership_updates:
+            self._apply_membership_updates(root_state.membership_updates)
+
+        # Write-lease table evolves identically at every node (§7.2).
+        if self.config.write_leases:
+            self.leases.observe_committed_writes(state.cycle_id, written_keys)
+            self.leases.prune(state.cycle_id)
+
+        state.committed = True
+        self.last_committed_cycle = state.cycle_id
+        self.commit_log.append(CommittedCycle(state.cycle_id, tuple(requests), now))
+        self.stats["cycles_committed"] += 1
+
+        # Release reads linearized by this commit (§5).
+        for pending in self.linearizer.release_up_to(state.cycle_id):
+            sender = self.request_senders.pop(pending.request.request_id, pending.sender)
+            self._reply_read(sender, pending.request, committed_cycle=state.cycle_id)
+
+        # Keep the cycle map bounded.
+        stale = state.cycle_id - 4 * self.config.max_inflight_cycles
+        if stale in self.cycles:
+            del self.cycles[stale]
+
+        # If work accumulated while this cycle ran and no newer cycle is in
+        # flight, keep the pipeline moving (§4.2 "initiates the next cycle").
+        if self.last_started_cycle == self.last_committed_cycle:
+            if self.pending_writes or self.linearizer.pending_count() > 0:
+                self._maybe_start_next_cycle(reason="post-commit")
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def _apply_membership_updates(self, updates: Tuple[MembershipUpdate, ...]) -> None:
+        self.membership.apply_committed(updates, self.emulation_table, self.live_members)
+        for update in updates:
+            if update.super_leaf != self.super_leaf.name:
+                continue
+            if update.action == "delete":
+                self.broadcast.remove_peer(update.node_id)
+                self.failure_detector.remove_peer(update.node_id)
+            elif update.action == "add" and update.node_id != self.node_id:
+                self.broadcast.add_peer(update.node_id)
+                self.failure_detector.add_peer(update.node_id)
+
+    def _on_peer_failure(self, peer: str) -> None:
+        """A super-leaf peer stopped responding: exclude it and queue the update."""
+        if peer not in self.live_members:
+            return
+        self.live_members.discard(peer)
+        self.membership.note_failure(peer)
+        self.broadcast.remove_peer(peer)
+        # Stop waiting for the failed peer in any in-flight round 1.
+        for state in self.cycles.values():
+            if not state.completed:
+                state.exclude_member(peer)
+                self._check_round_completion(state)
+
+    def _on_join_request(self, sender: str, request: JoinRequest) -> None:
+        """A node (re)joins this super-leaf; effective after the carrying cycle commits."""
+        if request.super_leaf != self.super_leaf.name:
+            return
+        self.membership.note_join(request.node_id)
+        self.failure_detector.clear(request.node_id)
+
+    def request_join(self) -> None:
+        """Ask the live members of our super-leaf to re-admit this node."""
+        request = JoinRequest(node_id=self.node_id, super_leaf=self.super_leaf.name)
+        for peer in self.super_leaf.peers_of(self.node_id):
+            self.runtime.send(peer, request, request.wire_size())
+
+    # ==================================================================
+    # Introspection
+    # ==================================================================
+    def committed_requests(self) -> List[ClientRequest]:
+        """Flat list of committed requests in total order (for verification)."""
+        return [request for cycle in self.commit_log for request in cycle.requests]
+
+    def committed_order(self) -> List[int]:
+        """Committed request ids in total order."""
+        return [request.request_id for request in self.committed_requests()]
+
+    def __repr__(self) -> str:
+        return (
+            f"<CanopusNode {self.node_id} leaf={self.super_leaf.name} "
+            f"started={self.last_started_cycle} committed={self.last_committed_cycle}>"
+        )

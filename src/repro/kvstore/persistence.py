@@ -1,0 +1,76 @@
+"""Asynchronous log / snapshot persistence model.
+
+The paper's §8.1 compares ZooKeeper/ZKCanopus writing logs and snapshots to
+an in-memory filesystem versus an SSD and finds throughput unchanged with a
+median completion-time increase below 0.5 ms.  This module models that
+storage path: appends are asynchronous (they never block the commit path)
+but add device latency before a request is considered durable, which the
+storage-sensitivity benchmark measures.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+__all__ = ["StorageDevice", "PersistenceModel"]
+
+
+class StorageDevice(enum.Enum):
+    """Storage backends with their characteristic append latencies."""
+
+    MEMORY = "memory"
+    SSD = "ssd"
+    HDD = "hdd"
+
+    @property
+    def append_latency_s(self) -> float:
+        return {
+            StorageDevice.MEMORY: 2e-6,
+            # Intel S3700-class SSD sync write latency (~60 us) plus
+            # filesystem overhead; the paper reports < 0.5 ms added median.
+            StorageDevice.SSD: 3e-4,
+            StorageDevice.HDD: 6e-3,
+        }[self]
+
+
+@dataclass
+class _LogRecord:
+    sequence: int
+    size_bytes: int
+    durable_at: float
+
+
+class PersistenceModel:
+    """Models an append-only log with asynchronous group flushes."""
+
+    def __init__(self, device: StorageDevice = StorageDevice.MEMORY, group_size: int = 32) -> None:
+        self.device = device
+        self.group_size = group_size
+        self.records: List[_LogRecord] = []
+        self._pending_flush = 0
+        self.flushes = 0
+
+    def append(self, now: float, size_bytes: int) -> float:
+        """Append a record at time ``now``; returns when it becomes durable."""
+        self._pending_flush += 1
+        # Group commit: every ``group_size`` appends share one device write.
+        flush_position = (self._pending_flush - 1) % self.group_size
+        durable_at = now + self.device.append_latency_s * (1 + flush_position / self.group_size)
+        record = _LogRecord(sequence=len(self.records) + 1, size_bytes=size_bytes, durable_at=durable_at)
+        self.records.append(record)
+        if flush_position == self.group_size - 1:
+            self.flushes += 1
+            self._pending_flush = 0
+        return durable_at
+
+    def added_latency(self) -> float:
+        """Average extra latency per append relative to the memory device."""
+        return self.device.append_latency_s - StorageDevice.MEMORY.append_latency_s
+
+    def total_bytes(self) -> int:
+        return sum(record.size_bytes for record in self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)

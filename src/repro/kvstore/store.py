@@ -1,0 +1,191 @@
+"""Hierarchical znode store (the ZooKeeper data model, simplified).
+
+Paths are ``/``-separated; every node carries a value, a version, and
+creation / modification counters.  The store supports the operations the
+paper's workloads need (`create`, `set`, `get`, `delete`, `exists`,
+`children`) plus a flat ``write``/``read`` facade used when the workload is
+a plain key-value load (keys are mapped to znodes under ``/kv``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["ZNode", "KVStore", "NoNodeError", "NodeExistsError", "BadVersionError"]
+
+
+class NoNodeError(KeyError):
+    """Raised when an operation targets a path that does not exist."""
+
+
+class NodeExistsError(ValueError):
+    """Raised when creating a path that already exists."""
+
+
+class BadVersionError(ValueError):
+    """Raised when a conditional set/delete specifies a stale version."""
+
+
+@dataclass
+class ZNode:
+    """One node of the data tree."""
+
+    path: str
+    value: str = ""
+    version: int = 0
+    created_zxid: int = 0
+    modified_zxid: int = 0
+    children: Dict[str, "ZNode"] = field(default_factory=dict)
+
+    def stat(self) -> Dict[str, int]:
+        return {
+            "version": self.version,
+            "created_zxid": self.created_zxid,
+            "modified_zxid": self.modified_zxid,
+            "num_children": len(self.children),
+        }
+
+
+def _split(path: str) -> List[str]:
+    if not path.startswith("/"):
+        raise ValueError(f"paths must be absolute, got {path!r}")
+    parts = [part for part in path.split("/") if part]
+    return parts
+
+
+class KVStore:
+    """The in-memory data tree of one replica."""
+
+    def __init__(self) -> None:
+        self.root = ZNode(path="/")
+        self._zxid = 0
+        self.writes_applied = 0
+        self.reads_served = 0
+
+    # ------------------------------------------------------------------
+    # Tree navigation
+    # ------------------------------------------------------------------
+    def _lookup(self, path: str) -> ZNode:
+        node = self.root
+        for part in _split(path):
+            if part not in node.children:
+                raise NoNodeError(path)
+            node = node.children[part]
+        return node
+
+    def exists(self, path: str) -> bool:
+        try:
+            self._lookup(path)
+            return True
+        except NoNodeError:
+            return False
+
+    def children(self, path: str) -> List[str]:
+        return sorted(self._lookup(path).children.keys())
+
+    def walk(self) -> Iterator[ZNode]:
+        """Depth-first iteration over every znode."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children.values())
+
+    # ------------------------------------------------------------------
+    # Mutations (applied in commit order by the consensus layer)
+    # ------------------------------------------------------------------
+    def create(self, path: str, value: str = "", parents: bool = False) -> ZNode:
+        parts = _split(path)
+        node = self.root
+        for index, part in enumerate(parts):
+            last = index == len(parts) - 1
+            if part in node.children:
+                node = node.children[part]
+                if last:
+                    raise NodeExistsError(path)
+            else:
+                if not last and not parents:
+                    raise NoNodeError("/" + "/".join(parts[: index + 1]))
+                self._zxid += 1
+                child = ZNode(
+                    path="/" + "/".join(parts[: index + 1]),
+                    value=value if last else "",
+                    created_zxid=self._zxid,
+                    modified_zxid=self._zxid,
+                )
+                node.children[part] = child
+                node = child
+        self.writes_applied += 1
+        return node
+
+    def set(self, path: str, value: str, expected_version: Optional[int] = None) -> ZNode:
+        node = self._lookup(path)
+        if expected_version is not None and node.version != expected_version:
+            raise BadVersionError(f"{path}: expected v{expected_version}, have v{node.version}")
+        self._zxid += 1
+        node.value = value
+        node.version += 1
+        node.modified_zxid = self._zxid
+        self.writes_applied += 1
+        return node
+
+    def delete(self, path: str, expected_version: Optional[int] = None) -> None:
+        parts = _split(path)
+        if not parts:
+            raise ValueError("cannot delete the root")
+        parent = self.root
+        for part in parts[:-1]:
+            if part not in parent.children:
+                raise NoNodeError(path)
+            parent = parent.children[part]
+        leaf_name = parts[-1]
+        if leaf_name not in parent.children:
+            raise NoNodeError(path)
+        node = parent.children[leaf_name]
+        if expected_version is not None and node.version != expected_version:
+            raise BadVersionError(f"{path}: expected v{expected_version}, have v{node.version}")
+        if node.children:
+            raise ValueError(f"{path} has children")
+        self._zxid += 1
+        del parent.children[leaf_name]
+        self.writes_applied += 1
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def get(self, path: str) -> str:
+        self.reads_served += 1
+        return self._lookup(path).value
+
+    def stat(self, path: str) -> Dict[str, int]:
+        return self._lookup(path).stat()
+
+    # ------------------------------------------------------------------
+    # Flat key-value facade used by the paper-style KV workloads
+    # ------------------------------------------------------------------
+    KV_PREFIX = "/kv"
+
+    def write(self, key: str, value: str) -> str:
+        """Upsert ``key`` (a flat key, stored under ``/kv/<key>``)."""
+        path = f"{self.KV_PREFIX}/{key}"
+        try:
+            self.set(path, value)
+        except NoNodeError:
+            self.create(path, value, parents=True)
+        return value
+
+    def read(self, key: str) -> Optional[str]:
+        """Read a flat key; returns ``None`` when absent."""
+        try:
+            return self.get(f"{self.KV_PREFIX}/{key}")
+        except NoNodeError:
+            return None
+
+    # ------------------------------------------------------------------
+    def size(self) -> int:
+        return sum(1 for _ in self.walk()) - 1
+
+    def snapshot(self) -> Dict[str, Tuple[str, int]]:
+        """Flat ``{path: (value, version)}`` snapshot for replica comparison."""
+        return {node.path: (node.value, node.version) for node in self.walk() if node.path != "/"}

@@ -1,0 +1,19 @@
+"""Measurement: completion-time and throughput statistics.
+
+The collector records (submit, complete) pairs per request; summaries
+follow the paper's methodology — discard warm-up and cool-down, report
+throughput and the median completion time, and attach 95% confidence
+intervals across repetitions.
+"""
+
+from repro.metrics.stats import confidence_interval_95, percentile, summarize
+from repro.metrics.collector import MetricsCollector, RequestRecord, RunSummary
+
+__all__ = [
+    "MetricsCollector",
+    "RequestRecord",
+    "RunSummary",
+    "percentile",
+    "confidence_interval_95",
+    "summarize",
+]

@@ -1,0 +1,28 @@
+"""Raft consensus substrate.
+
+Canopus uses a variant of Raft in two places (§4.3, §4.5): as the reliable
+broadcast mechanism within a super-leaf (each member leads its own Raft
+group) and for representative election / failure detection.  The module is
+also usable standalone and is exercised directly by the test suite.
+"""
+
+from repro.raft.log import LogEntry, RaftLog
+from repro.raft.messages import (
+    AppendEntries,
+    AppendEntriesReply,
+    RequestVote,
+    RequestVoteReply,
+)
+from repro.raft.node import RaftConfig, RaftNode, Role
+
+__all__ = [
+    "LogEntry",
+    "RaftLog",
+    "AppendEntries",
+    "AppendEntriesReply",
+    "RequestVote",
+    "RequestVoteReply",
+    "RaftConfig",
+    "RaftNode",
+    "Role",
+]

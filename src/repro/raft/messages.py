@@ -1,0 +1,80 @@
+"""Raft RPC message types.
+
+Every message carries a ``group_id`` so that multiple Raft groups can share
+one transport endpoint — which is exactly how Canopus super-leaves use Raft
+for reliable broadcast (each super-leaf member leads its own group).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+__all__ = ["RequestVote", "RequestVoteReply", "AppendEntries", "AppendEntriesReply", "RAFT_MESSAGE_TYPES"]
+
+_HEADER_BYTES = 48
+
+
+@dataclass
+class RequestVote:
+    """Candidate solicits votes (Raft §5.2)."""
+
+    group_id: str
+    term: int
+    candidate_id: str
+    last_log_index: int
+    last_log_term: int
+
+    def wire_size(self) -> int:
+        return _HEADER_BYTES
+
+
+@dataclass
+class RequestVoteReply:
+    """Response to :class:`RequestVote`."""
+
+    group_id: str
+    term: int
+    voter_id: str
+    vote_granted: bool
+
+    def wire_size(self) -> int:
+        return _HEADER_BYTES
+
+
+@dataclass
+class AppendEntries:
+    """Leader log replication / heartbeat (Raft §5.3)."""
+
+    group_id: str
+    term: int
+    leader_id: str
+    prev_log_index: int
+    prev_log_term: int
+    entries: Tuple[Any, ...] = ()
+    leader_commit: int = 0
+
+    def wire_size(self) -> int:
+        entry_bytes = 0
+        for entry in self.entries:
+            command = getattr(entry, "command", entry)
+            inner = getattr(command, "wire_size", None)
+            entry_bytes += (int(inner()) if callable(inner) else 64) + 16
+        return _HEADER_BYTES + entry_bytes
+
+
+@dataclass
+class AppendEntriesReply:
+    """Follower response to :class:`AppendEntries`."""
+
+    group_id: str
+    term: int
+    follower_id: str
+    success: bool
+    match_index: int
+
+    def wire_size(self) -> int:
+        return _HEADER_BYTES
+
+
+RAFT_MESSAGE_TYPES = (RequestVote, RequestVoteReply, AppendEntries, AppendEntriesReply)

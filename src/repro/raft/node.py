@@ -1,0 +1,332 @@
+"""A Raft consensus node (leader election + log replication).
+
+The implementation follows the Raft paper's Figure 2 rules.  A node is a
+transport-agnostic state machine driven through :meth:`RaftNode.on_message`
+and timer callbacks scheduled on a :class:`repro.runtime.base.Runtime`.
+
+Multiple :class:`RaftNode` instances can share one runtime endpoint by
+giving each a distinct ``group_id`` — messages are tagged and the owner
+demultiplexes with :meth:`RaftNode.handles`.  Canopus' super-leaf reliable
+broadcast (:mod:`repro.broadcast.raft_broadcast`) uses this to run one
+group per super-leaf member.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.raft.log import LogEntry, RaftLog
+from repro.raft.messages import AppendEntries, AppendEntriesReply, RequestVote, RequestVoteReply
+from repro.runtime.base import Runtime, Timer
+
+__all__ = ["Role", "RaftConfig", "RaftNode"]
+
+
+class Role(enum.Enum):
+    FOLLOWER = "follower"
+    CANDIDATE = "candidate"
+    LEADER = "leader"
+
+
+@dataclass
+class RaftConfig:
+    """Timing parameters; defaults suit a rack-local group."""
+
+    heartbeat_interval_s: float = 0.02
+    election_timeout_min_s: float = 0.1
+    election_timeout_max_s: float = 0.2
+    #: If set, this node starts as the group's leader without an election.
+    #: Canopus uses this: each super-leaf member is the initial leader of
+    #: its own broadcast group (§4.3).
+    initial_leader: Optional[str] = None
+
+
+class RaftNode:
+    """One member of one Raft group."""
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        group_id: str,
+        members: Sequence[str],
+        apply: Callable[[LogEntry], None],
+        config: Optional[RaftConfig] = None,
+    ) -> None:
+        self.runtime = runtime
+        self.node_id = runtime.node_id
+        self.group_id = group_id
+        self.members: List[str] = list(members)
+        if self.node_id not in self.members:
+            raise ValueError(f"{self.node_id} is not a member of group {group_id}")
+        self.apply = apply
+        self.config = config or RaftConfig()
+
+        # Persistent state.
+        self.current_term = 0
+        self.voted_for: Optional[str] = None
+        self.log = RaftLog()
+
+        # Volatile state.
+        self.role = Role.FOLLOWER
+        self.commit_index = 0
+        self.last_applied = 0
+        self.leader_id: Optional[str] = None
+        self.next_index: Dict[str, int] = {}
+        self.match_index: Dict[str, int] = {}
+        self._votes: set = set()
+
+        self._election_timer: Optional[Timer] = None
+        self._heartbeat_timer: Optional[Timer] = None
+        self.stopped = False
+
+        if self.config.initial_leader == self.node_id:
+            self._become_leader(initial=True)
+        else:
+            self._reset_election_timer()
+            if self.config.initial_leader is not None:
+                self.leader_id = self.config.initial_leader
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def is_leader(self) -> bool:
+        return self.role is Role.LEADER
+
+    def peers(self) -> List[str]:
+        return [m for m in self.members if m != self.node_id]
+
+    def majority(self) -> int:
+        return len(self.members) // 2 + 1
+
+    def propose(self, command: Any) -> Optional[LogEntry]:
+        """Append ``command`` if leader; returns the entry or ``None``."""
+        if self.stopped or not self.is_leader:
+            return None
+        entry = self.log.append_new(self.current_term, command)
+        self.match_index[self.node_id] = entry.index
+        self._replicate_to_all()
+        if len(self.members) == 1:
+            self._advance_commit_index()
+        return entry
+
+    def handles(self, message: Any) -> bool:
+        return (
+            isinstance(message, (RequestVote, RequestVoteReply, AppendEntries, AppendEntriesReply))
+            and message.group_id == self.group_id
+        )
+
+    def stop(self) -> None:
+        """Stop timers; used on shutdown or when the group is disbanded."""
+        self.stopped = True
+        if self._election_timer:
+            self._election_timer.cancel()
+        if self._heartbeat_timer:
+            self._heartbeat_timer.cancel()
+
+    def remove_member(self, member: str) -> None:
+        """Drop a crashed member from the group view."""
+        if member in self.members and member != self.node_id:
+            self.members.remove(member)
+            self.next_index.pop(member, None)
+            self.match_index.pop(member, None)
+            if self.is_leader:
+                self._advance_commit_index()
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def on_message(self, sender: str, message: Any) -> None:
+        if self.stopped:
+            return
+        if isinstance(message, RequestVote):
+            self._on_request_vote(message)
+        elif isinstance(message, RequestVoteReply):
+            self._on_request_vote_reply(message)
+        elif isinstance(message, AppendEntries):
+            self._on_append_entries(message)
+        elif isinstance(message, AppendEntriesReply):
+            self._on_append_entries_reply(message)
+
+    # -- Elections ------------------------------------------------------
+    def _reset_election_timer(self) -> None:
+        if self._election_timer:
+            self._election_timer.cancel()
+        timeout = self.runtime.rng.uniform(
+            self.config.election_timeout_min_s, self.config.election_timeout_max_s
+        )
+        self._election_timer = self.runtime.after(timeout, self._on_election_timeout)
+
+    def _on_election_timeout(self) -> None:
+        if self.stopped or self.is_leader:
+            return
+        self._start_election()
+
+    def _start_election(self) -> None:
+        self.role = Role.CANDIDATE
+        self.current_term += 1
+        self.voted_for = self.node_id
+        self._votes = {self.node_id}
+        self.leader_id = None
+        self._reset_election_timer()
+        if len(self.members) == 1 or len(self._votes) >= self.majority():
+            self._become_leader()
+            return
+        request = RequestVote(
+            group_id=self.group_id,
+            term=self.current_term,
+            candidate_id=self.node_id,
+            last_log_index=self.log.last_index,
+            last_log_term=self.log.last_term,
+        )
+        for peer in self.peers():
+            self.runtime.send(peer, request, request.wire_size())
+
+    def _on_request_vote(self, message: RequestVote) -> None:
+        if message.term > self.current_term:
+            self._step_down(message.term)
+        grant = False
+        if message.term == self.current_term and self.voted_for in (None, message.candidate_id):
+            log_ok = (message.last_log_term, message.last_log_index) >= (
+                self.log.last_term,
+                self.log.last_index,
+            )
+            if log_ok:
+                grant = True
+                self.voted_for = message.candidate_id
+                self._reset_election_timer()
+        reply = RequestVoteReply(
+            group_id=self.group_id,
+            term=self.current_term,
+            voter_id=self.node_id,
+            vote_granted=grant,
+        )
+        self.runtime.send(message.candidate_id, reply, reply.wire_size())
+
+    def _on_request_vote_reply(self, message: RequestVoteReply) -> None:
+        if message.term > self.current_term:
+            self._step_down(message.term)
+            return
+        if self.role is not Role.CANDIDATE or message.term != self.current_term:
+            return
+        if message.vote_granted:
+            self._votes.add(message.voter_id)
+            if len(self._votes) >= self.majority():
+                self._become_leader()
+
+    def _become_leader(self, initial: bool = False) -> None:
+        self.role = Role.LEADER
+        self.leader_id = self.node_id
+        if initial and self.current_term == 0:
+            self.current_term = 1
+        if self._election_timer:
+            self._election_timer.cancel()
+            self._election_timer = None
+        self.next_index = {peer: self.log.last_index + 1 for peer in self.peers()}
+        self.match_index = {peer: 0 for peer in self.peers()}
+        self.match_index[self.node_id] = self.log.last_index
+        self._send_heartbeats()
+        self._heartbeat_timer = self.runtime.periodic(
+            self.config.heartbeat_interval_s, self._send_heartbeats
+        )
+
+    def _step_down(self, term: int) -> None:
+        self.current_term = term
+        self.voted_for = None
+        if self.role is Role.LEADER and self._heartbeat_timer:
+            self._heartbeat_timer.cancel()
+            self._heartbeat_timer = None
+        self.role = Role.FOLLOWER
+        self._reset_election_timer()
+
+    # -- Replication ----------------------------------------------------
+    def _send_heartbeats(self) -> None:
+        if self.stopped or not self.is_leader:
+            return
+        self._replicate_to_all()
+
+    def _replicate_to_all(self) -> None:
+        for peer in self.peers():
+            self._replicate_to(peer)
+
+    def _replicate_to(self, peer: str) -> None:
+        next_index = self.next_index.get(peer, self.log.last_index + 1)
+        prev_index = next_index - 1
+        prev_term = self.log.term_at(prev_index) if prev_index <= self.log.last_index else 0
+        entries = self.log.entries_from(next_index)
+        message = AppendEntries(
+            group_id=self.group_id,
+            term=self.current_term,
+            leader_id=self.node_id,
+            prev_log_index=prev_index,
+            prev_log_term=prev_term,
+            entries=entries,
+            leader_commit=self.commit_index,
+        )
+        self.runtime.send(peer, message, message.wire_size())
+
+    def _on_append_entries(self, message: AppendEntries) -> None:
+        if message.term > self.current_term:
+            self._step_down(message.term)
+        success = False
+        match_index = 0
+        if message.term == self.current_term:
+            if self.role is not Role.FOLLOWER:
+                self._step_down(message.term)
+            self.leader_id = message.leader_id
+            self._reset_election_timer()
+            if self.log.matches(message.prev_log_index, message.prev_log_term):
+                self.log.merge(message.prev_log_index, message.entries)
+                success = True
+                match_index = message.prev_log_index + len(message.entries)
+                if message.leader_commit > self.commit_index:
+                    self.commit_index = min(message.leader_commit, self.log.last_index)
+                    self._apply_committed()
+        reply = AppendEntriesReply(
+            group_id=self.group_id,
+            term=self.current_term,
+            follower_id=self.node_id,
+            success=success,
+            match_index=match_index,
+        )
+        self.runtime.send(message.leader_id, reply, reply.wire_size())
+
+    def _on_append_entries_reply(self, message: AppendEntriesReply) -> None:
+        if message.term > self.current_term:
+            self._step_down(message.term)
+            return
+        if not self.is_leader or message.term != self.current_term:
+            return
+        if message.success:
+            self.match_index[message.follower_id] = max(
+                self.match_index.get(message.follower_id, 0), message.match_index
+            )
+            self.next_index[message.follower_id] = self.match_index[message.follower_id] + 1
+            self._advance_commit_index()
+        else:
+            self.next_index[message.follower_id] = max(1, self.next_index.get(message.follower_id, 1) - 1)
+            self._replicate_to(message.follower_id)
+
+    def _advance_commit_index(self) -> None:
+        for index in range(self.log.last_index, self.commit_index, -1):
+            if self.log.term_at(index) != self.current_term:
+                continue
+            replicas = 1 + sum(
+                1 for peer in self.peers() if self.match_index.get(peer, 0) >= index
+            )
+            if replicas >= self.majority():
+                old_commit = self.commit_index
+                self.commit_index = index
+                self._apply_committed()
+                if self.commit_index != old_commit:
+                    # Let followers learn the new commit index promptly; the
+                    # paper's broadcast latency depends on it (§4.3).
+                    self._replicate_to_all()
+                break
+
+    def _apply_committed(self) -> None:
+        while self.last_applied < self.commit_index:
+            self.last_applied += 1
+            self.apply(self.log.entry(self.last_applied))

@@ -1,0 +1,14 @@
+"""Runtime abstraction: the boundary between protocol logic and transport.
+
+Protocol nodes (Canopus, Raft, EPaxos, Zab) are written against the small
+:class:`~repro.runtime.base.Runtime` interface so that the identical
+protocol code runs both on the deterministic discrete-event simulator
+(:class:`~repro.runtime.sim_runtime.SimRuntime`) and on an in-process
+asyncio transport (:class:`~repro.runtime.asyncio_runtime.AsyncioRuntime`).
+"""
+
+from repro.runtime.base import Runtime, Timer
+from repro.runtime.sim_runtime import SimRuntime
+from repro.runtime.asyncio_runtime import AsyncioCluster, AsyncioRuntime
+
+__all__ = ["Runtime", "Timer", "SimRuntime", "AsyncioRuntime", "AsyncioCluster"]

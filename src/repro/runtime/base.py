@@ -1,0 +1,94 @@
+"""The :class:`Runtime` interface protocol nodes are written against.
+
+A runtime provides four things:
+
+* a clock (:meth:`Runtime.now`),
+* message transmission (:meth:`Runtime.send`),
+* one-shot timers (:meth:`Runtime.after`), and
+* a deterministic random stream (:attr:`Runtime.rng`).
+
+Protocol nodes register a message handler with :meth:`Runtime.set_handler`
+and from then on are purely reactive: every state transition happens inside
+a message delivery or a timer callback.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Any, Callable, Optional
+
+__all__ = ["Runtime", "Timer"]
+
+
+class Timer:
+    """Handle for a scheduled callback; supports cancellation."""
+
+    def __init__(self, cancel: Callable[[], None]) -> None:
+        self._cancel = cancel
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        if not self.cancelled:
+            self.cancelled = True
+            self._cancel()
+
+
+class Runtime(abc.ABC):
+    """Abstract transport/scheduling environment for one protocol node."""
+
+    #: Name (address) of the node this runtime belongs to.
+    node_id: str
+    #: Deterministic random stream private to this node.
+    rng: random.Random
+
+    @abc.abstractmethod
+    def now(self) -> float:
+        """Current time in seconds (simulated or monotonic wall time)."""
+
+    @abc.abstractmethod
+    def send(self, dst: str, message: Any, size_bytes: Optional[int] = None) -> None:
+        """Send ``message`` to the node named ``dst``.
+
+        ``size_bytes`` lets protocols report the wire size of a message for
+        bandwidth accounting; when omitted, the runtime estimates it from
+        the message itself (see :func:`repro.canopus.messages.wire_size`).
+        """
+
+    @abc.abstractmethod
+    def after(self, delay: float, callback: Callable[[], None]) -> Timer:
+        """Run ``callback`` once after ``delay`` seconds."""
+
+    @abc.abstractmethod
+    def set_handler(self, handler: Callable[[str, Any], None]) -> None:
+        """Register the ``handler(sender, message)`` delivery callback."""
+
+    # ------------------------------------------------------------------
+    # Convenience helpers shared by all runtimes
+    # ------------------------------------------------------------------
+    def broadcast(self, destinations: Any, message: Any, size_bytes: Optional[int] = None) -> None:
+        """Send ``message`` to every destination (excluding self)."""
+        for dst in destinations:
+            if dst != self.node_id:
+                self.send(dst, message, size_bytes)
+
+    def periodic(self, interval: float, callback: Callable[[], None]) -> Timer:
+        """Run ``callback`` every ``interval`` seconds until cancelled."""
+        state = {"timer": None, "stopped": False}
+
+        def tick() -> None:
+            if state["stopped"]:
+                return
+            callback()
+            if not state["stopped"]:
+                state["timer"] = self.after(interval, tick)
+
+        state["timer"] = self.after(interval, tick)
+
+        def cancel() -> None:
+            state["stopped"] = True
+            inner = state["timer"]
+            if inner is not None:
+                inner.cancel()
+
+        return Timer(cancel)

@@ -1,0 +1,62 @@
+"""Runtime backed by the discrete-event simulator."""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Optional
+
+from repro.runtime.base import Runtime, Timer
+from repro.sim.engine import Simulator
+from repro.sim.network import Host, Network
+
+__all__ = ["SimRuntime", "estimate_size"]
+
+
+def estimate_size(message: Any) -> int:
+    """Best-effort estimate of a message's wire size in bytes.
+
+    Messages that care about their size (all protocol messages in this
+    repository) expose a ``wire_size()`` method; anything else is charged a
+    small fixed cost.
+    """
+    wire_size = getattr(message, "wire_size", None)
+    if callable(wire_size):
+        return int(wire_size())
+    if isinstance(message, (bytes, bytearray)):
+        return len(message)
+    if isinstance(message, str):
+        return len(message.encode("utf-8"))
+    return 64
+
+
+class SimRuntime(Runtime):
+    """Adapts one simulated :class:`~repro.sim.network.Host` to the Runtime API."""
+
+    def __init__(self, simulator: Simulator, network: Network, host: Host) -> None:
+        self.simulator = simulator
+        self.network = network
+        self.host = host
+        self.node_id = host.name
+        self.rng: random.Random = simulator.fork_rng(host.name)
+        host.set_handler(self._deliver)
+        self._handler: Optional[Callable[[str, Any], None]] = None
+
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        return self.simulator.now
+
+    def send(self, dst: str, message: Any, size_bytes: Optional[int] = None) -> None:
+        size = size_bytes if size_bytes is not None else estimate_size(message)
+        self.host.send(dst, message, size)
+
+    def after(self, delay: float, callback: Callable[[], None]) -> Timer:
+        event = self.simulator.loop.schedule(delay, callback, label=f"timer:{self.node_id}")
+        return Timer(event.cancel)
+
+    def set_handler(self, handler: Callable[[str, Any], None]) -> None:
+        self._handler = handler
+
+    # ------------------------------------------------------------------
+    def _deliver(self, sender: str, message: Any) -> None:
+        if self._handler is not None:
+            self._handler(sender, message)

@@ -1,0 +1,36 @@
+"""Deterministic discrete-event simulation substrate.
+
+This package provides the event engine (:mod:`repro.sim.engine`), the
+network model (:mod:`repro.sim.network`), topology builders matching the
+deployments in the Canopus paper (:mod:`repro.sim.topology`), and the
+inter-datacenter latency matrix from Table 1 of the paper
+(:mod:`repro.sim.latencies`).
+"""
+
+from repro.sim.engine import Event, EventLoop, Simulator
+from repro.sim.network import Host, Link, Network, Packet, Switch
+from repro.sim.topology import (
+    EC2_LATENCIES_MS,
+    Datacenter,
+    Rack,
+    Topology,
+    build_multi_datacenter,
+    build_single_datacenter,
+)
+
+__all__ = [
+    "Event",
+    "EventLoop",
+    "Simulator",
+    "Host",
+    "Link",
+    "Network",
+    "Packet",
+    "Switch",
+    "EC2_LATENCIES_MS",
+    "Datacenter",
+    "Rack",
+    "Topology",
+    "build_multi_datacenter",
+    "build_single_datacenter",
+]

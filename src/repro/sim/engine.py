@@ -1,0 +1,213 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine is a small, dependency-free event loop built around a binary
+heap of timestamped events.  Determinism is guaranteed by:
+
+* a single seeded :class:`random.Random` instance owned by the simulator,
+* a monotonically increasing sequence number that breaks ties between
+  events scheduled for the same instant, and
+* the absence of any wall-clock reads.
+
+Protocol code never touches the engine directly; it talks to a
+:class:`repro.runtime.sim_runtime.SimRuntime` which wraps the engine and a
+:class:`repro.sim.network.Network`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["Event", "EventLoop", "Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an inconsistent state."""
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Events are ordered by ``(time, priority, seq)``.  ``priority`` lets the
+    network layer deliver packets before application timers that fire at
+    exactly the same instant, which keeps traces intuitive; ``seq`` makes
+    ordering total and therefore deterministic.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the loop skips it when popped."""
+        self.cancelled = True
+
+
+class EventLoop:
+    """A priority-queue based discrete event loop.
+
+    The loop exposes :meth:`schedule` / :meth:`schedule_at` for enqueueing
+    callbacks and :meth:`run` / :meth:`run_until` / :meth:`step` for
+    execution.  Time is a ``float`` in **seconds**.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._processed = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far (useful for budget guards)."""
+        return self._processed
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = 10,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, priority=priority, label=label)
+
+    def schedule_at(
+        self,
+        when: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = 10,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` at absolute simulated time ``when``."""
+        if when < self._now:
+            raise ValueError(f"cannot schedule at {when} before now={self._now}")
+        event = Event(time=when, priority=priority, seq=next(self._seq), callback=callback, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns ``False`` when empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if event.time < self._now:
+                raise SimulationError("event heap produced an event in the past")
+            self._now = event.time
+            self._processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, max_events: Optional[int] = None) -> None:
+        """Run until the event heap is exhausted (or ``max_events``)."""
+        self._running = True
+        executed = 0
+        try:
+            while self._running and self.step():
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    return
+        finally:
+            self._running = False
+
+    def run_until(self, deadline: float, max_events: Optional[int] = None) -> None:
+        """Run events with timestamps strictly ``<= deadline``.
+
+        On return the clock is advanced to ``deadline`` even if the heap
+        drained earlier, so repeated ``run_until`` calls behave like a
+        sequence of measurement windows.
+        """
+        executed = 0
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if head.time > deadline:
+                break
+            self.step()
+            executed += 1
+            if max_events is not None and executed >= max_events:
+                break
+        if self._now < deadline:
+            self._now = deadline
+
+    def stop(self) -> None:
+        """Stop a :meth:`run` in progress after the current event."""
+        self._running = False
+
+
+class Simulator:
+    """Top-level container binding an event loop, RNG and named components.
+
+    A :class:`Simulator` is the unit of reproducibility: constructing two
+    simulators with the same seed and driving them with the same inputs
+    yields byte-identical traces.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.loop = EventLoop()
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.components: Dict[str, Any] = {}
+
+    # Convenience passthroughs -----------------------------------------
+    @property
+    def now(self) -> float:
+        return self.loop.now
+
+    def schedule(self, delay: float, callback: Callable[[], None], **kwargs: Any) -> Event:
+        return self.loop.schedule(delay, callback, **kwargs)
+
+    def run(self, max_events: Optional[int] = None) -> None:
+        self.loop.run(max_events=max_events)
+
+    def run_until(self, deadline: float, max_events: Optional[int] = None) -> None:
+        self.loop.run_until(deadline, max_events=max_events)
+
+    # Component registry -------------------------------------------------
+    def register(self, name: str, component: Any) -> Any:
+        """Register a named component (host, protocol node, collector...)."""
+        if name in self.components:
+            raise SimulationError(f"component {name!r} already registered")
+        self.components[name] = component
+        return component
+
+    def get(self, name: str) -> Any:
+        return self.components[name]
+
+    def fork_rng(self, label: str) -> random.Random:
+        """Derive an independent, deterministic RNG stream for ``label``."""
+        derived_seed = (self.seed * 1_000_003 + hash(label)) & 0x7FFFFFFF
+        return random.Random(derived_seed)

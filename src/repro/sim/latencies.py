@@ -1,0 +1,111 @@
+"""Inter-datacenter latency matrix from Table 1 of the Canopus paper.
+
+The paper reports one-way latencies in milliseconds between the seven EC2
+regions used in the multi-datacenter evaluation (§8.2):
+
+==  =======================
+IR  Ireland
+CA  California (N. California)
+VA  Virginia
+TK  Tokyo
+OR  Oregon
+SY  Sydney
+FF  Frankfurt
+==  =======================
+
+The diagonal entries are the intra-datacenter latencies the paper lists
+(0.13–0.26 ms).  The matrix is symmetric; the paper only prints the lower
+triangle, which we mirror here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "EC2_REGIONS",
+    "EC2_LATENCIES_MS",
+    "latency_ms",
+    "latency_s",
+    "regions_for_count",
+    "max_pairwise_latency_ms",
+]
+
+#: Region codes in the order used by Table 1.
+EC2_REGIONS: List[str] = ["IR", "CA", "VA", "TK", "OR", "SY", "FF"]
+
+#: Lower-triangular entries of Table 1 (milliseconds, one-way as reported).
+_TABLE1_LOWER: Dict[Tuple[str, str], float] = {
+    ("IR", "IR"): 0.2,
+    ("CA", "IR"): 133.0,
+    ("CA", "CA"): 0.2,
+    ("VA", "IR"): 66.0,
+    ("VA", "CA"): 60.0,
+    ("VA", "VA"): 0.25,
+    ("TK", "IR"): 243.0,
+    ("TK", "CA"): 113.0,
+    ("TK", "VA"): 145.0,
+    ("TK", "TK"): 0.13,
+    ("OR", "IR"): 154.0,
+    ("OR", "CA"): 20.0,
+    ("OR", "VA"): 80.0,
+    ("OR", "TK"): 100.0,
+    ("OR", "OR"): 0.26,
+    ("SY", "IR"): 295.0,
+    ("SY", "CA"): 168.0,
+    ("SY", "VA"): 226.0,
+    ("SY", "TK"): 103.0,
+    ("SY", "OR"): 161.0,
+    ("SY", "SY"): 0.2,
+    ("FF", "IR"): 22.0,
+    ("FF", "CA"): 145.0,
+    ("FF", "VA"): 89.0,
+    ("FF", "TK"): 226.0,
+    ("FF", "OR"): 156.0,
+    ("FF", "SY"): 322.0,
+    ("FF", "FF"): 0.23,
+}
+
+
+def _build_full_matrix() -> Dict[str, Dict[str, float]]:
+    matrix: Dict[str, Dict[str, float]] = {r: {} for r in EC2_REGIONS}
+    for (a, b), value in _TABLE1_LOWER.items():
+        matrix[a][b] = value
+        matrix[b][a] = value
+    return matrix
+
+
+#: Full symmetric latency matrix, ``EC2_LATENCIES_MS[a][b]`` in milliseconds.
+EC2_LATENCIES_MS: Dict[str, Dict[str, float]] = _build_full_matrix()
+
+
+def latency_ms(a: str, b: str) -> float:
+    """Latency between regions ``a`` and ``b`` in milliseconds."""
+    return EC2_LATENCIES_MS[a][b]
+
+
+def latency_s(a: str, b: str) -> float:
+    """Latency between regions ``a`` and ``b`` in seconds."""
+    return EC2_LATENCIES_MS[a][b] / 1000.0
+
+
+def regions_for_count(count: int) -> List[str]:
+    """Region subsets used for the 3-, 5-, and 7-datacenter experiments.
+
+    The paper does not list which regions form the 3- and 5-DC subsets, so
+    we take prefixes of the Table 1 ordering, which mixes trans-Atlantic and
+    trans-Pacific links the same way the full set does.
+    """
+    if not 1 <= count <= len(EC2_REGIONS):
+        raise ValueError(f"count must be between 1 and {len(EC2_REGIONS)}, got {count}")
+    return EC2_REGIONS[:count]
+
+
+def max_pairwise_latency_ms(regions: List[str]) -> float:
+    """Largest one-way latency among ``regions`` (drives Canopus cycle time)."""
+    worst = 0.0
+    for a in regions:
+        for b in regions:
+            if a != b:
+                worst = max(worst, EC2_LATENCIES_MS[a][b])
+    return worst

@@ -1,0 +1,394 @@
+"""Simulated network: hosts, switches, links, and packet delivery.
+
+The network model is intentionally simple but captures the three effects the
+Canopus paper's evaluation hinges on:
+
+1. **Per-hop propagation latency.**  Intra-rack hops are cheap, hops across
+   the aggregation switch cost more, and inter-datacenter hops use the wide
+   area latencies of Table 1.
+2. **Link serialization and queuing.**  Every link has a bandwidth; a packet
+   occupies the link for ``size / bandwidth`` seconds and packets queue FIFO
+   behind each other.  Oversubscribed aggregation links therefore become the
+   bottleneck for broadcast-heavy protocols (EPaxos) exactly as in §8.1.
+3. **Receiver CPU service time.**  Each host processes incoming messages
+   serially with a configurable per-message and per-byte cost, which is what
+   saturates a centralized coordinator (the ZooKeeper leader in Fig. 5).
+
+Routing is shortest-path over the host/switch graph, precomputed once per
+topology.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.sim.engine import EventLoop, SimulationError
+
+__all__ = ["Packet", "Link", "NetworkInterface", "Host", "Switch", "Network", "CpuModel"]
+
+#: Default per-message protocol framing overhead in bytes (headers etc.).
+DEFAULT_HEADER_BYTES = 64
+
+
+@dataclass
+class Packet:
+    """A message in flight between two hosts."""
+
+    src: str
+    dst: str
+    payload: Any
+    size_bytes: int
+    packet_id: int = 0
+    sent_at: float = 0.0
+    hops: int = 0
+
+    def total_bytes(self) -> int:
+        return self.size_bytes + DEFAULT_HEADER_BYTES
+
+
+@dataclass
+class CpuModel:
+    """Per-host CPU cost model for message processing.
+
+    ``per_message_s`` dominates for the small 16-byte key-value requests the
+    paper uses; ``per_byte_s`` matters for the large merged proposals Canopus
+    ships between super-leaves in later rounds.  Sending also consumes CPU
+    (serialization, syscalls) at ``send_fraction`` of the receive cost — this
+    is what makes a node that broadcasts to everyone (a Zab leader, an EPaxos
+    command leader) a bottleneck, as the paper observes.
+    """
+
+    per_message_s: float = 4e-6
+    per_byte_s: float = 1e-9
+    send_fraction: float = 0.5
+
+    def service_time(self, packet: Packet) -> float:
+        return self.per_message_s + self.per_byte_s * packet.total_bytes()
+
+    def send_time(self, packet: Packet) -> float:
+        return self.send_fraction * self.service_time(packet)
+
+
+class Link:
+    """A unidirectional link with propagation delay, bandwidth and a FIFO queue."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        name: str,
+        latency_s: float,
+        bandwidth_bps: float,
+        deliver: Callable[[Packet], None],
+    ) -> None:
+        self.loop = loop
+        self.name = name
+        self.latency_s = latency_s
+        self.bandwidth_bps = bandwidth_bps
+        self._deliver = deliver
+        self._busy_until = 0.0
+        self.bytes_sent = 0
+        self.packets_sent = 0
+
+    def transmit(self, packet: Packet) -> float:
+        """Enqueue ``packet`` and return its arrival time at the far end."""
+        now = self.loop.now
+        serialization = packet.total_bytes() * 8.0 / self.bandwidth_bps
+        start = max(now, self._busy_until)
+        finish = start + serialization
+        self._busy_until = finish
+        arrival = finish + self.latency_s
+        self.bytes_sent += packet.total_bytes()
+        self.packets_sent += 1
+        self.loop.schedule_at(arrival, lambda: self._deliver(packet), priority=5, label=f"link:{self.name}")
+        return arrival
+
+    @property
+    def queue_delay(self) -> float:
+        """Current backlog of the link in seconds."""
+        return max(0.0, self._busy_until - self.loop.now)
+
+    def utilization(self, elapsed_s: float) -> float:
+        """Fraction of ``elapsed_s`` spent transmitting."""
+        if elapsed_s <= 0:
+            return 0.0
+        return min(1.0, (self.bytes_sent * 8.0 / self.bandwidth_bps) / elapsed_s)
+
+
+class NetworkInterface:
+    """Endpoint attached to a host or switch; owns the outgoing links."""
+
+    def __init__(self, owner: "NetworkElement") -> None:
+        self.owner = owner
+        self.links: Dict[str, Link] = {}
+
+    def connect(self, link: Link, neighbor: str) -> None:
+        self.links[neighbor] = link
+
+
+class NetworkElement:
+    """Base class for hosts and switches."""
+
+    def __init__(self, network: "Network", name: str) -> None:
+        self.network = network
+        self.name = name
+        self.interface = NetworkInterface(self)
+
+    def receive(self, packet: Packet) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Switch(NetworkElement):
+    """A store-and-forward switch with negligible internal processing delay.
+
+    The switch forwards along the precomputed shortest path.  Switch
+    forwarding delay is folded into link latencies, which matches how the
+    paper reports topology latencies (host-to-host RTTs).
+    """
+
+    def __init__(self, network: "Network", name: str, forwarding_delay_s: float = 0.0) -> None:
+        super().__init__(network, name)
+        self.forwarding_delay_s = forwarding_delay_s
+        self.packets_forwarded = 0
+
+    def receive(self, packet: Packet) -> None:
+        self.packets_forwarded += 1
+        packet.hops += 1
+        next_hop = self.network.next_hop(self.name, packet.dst)
+        link = self.interface.links[next_hop]
+        if self.forwarding_delay_s:
+            self.network.loop.schedule(
+                self.forwarding_delay_s, lambda: link.transmit(packet), priority=5, label=f"fwd:{self.name}"
+            )
+        else:
+            link.transmit(packet)
+
+
+class Host(NetworkElement):
+    """A simulated machine.
+
+    Incoming packets are serviced serially through a single CPU queue and
+    then handed to the registered message handler.  Outgoing messages go
+    through :meth:`send`, which consults the network routing table.
+    """
+
+    def __init__(self, network: "Network", name: str, cpu: Optional[CpuModel] = None) -> None:
+        super().__init__(network, name)
+        self.cpu = cpu or CpuModel()
+        self._handler: Optional[Callable[[str, Any], None]] = None
+        self._cpu_busy_until = 0.0
+        self.messages_received = 0
+        self.messages_sent = 0
+        self.bytes_received = 0
+        self.rack: Optional[str] = None
+        self.datacenter: Optional[str] = None
+        self.failed = False
+
+    # ------------------------------------------------------------------
+    def set_handler(self, handler: Callable[[str, Any], None]) -> None:
+        """Register the callback invoked as ``handler(sender, payload)``."""
+        self._handler = handler
+
+    def send(self, dst: str, payload: Any, size_bytes: int) -> None:
+        """Send ``payload`` to host ``dst``.
+
+        The send is charged to this host's CPU queue first (serialization /
+        syscall cost), then handed to the network when the CPU gets to it.
+        """
+        if self.failed:
+            return
+        self.messages_sent += 1
+        probe = Packet(src=self.name, dst=dst, payload=payload, size_bytes=size_bytes)
+        now = self.network.loop.now
+        start = max(now, self._cpu_busy_until)
+        finish = start + self.cpu.send_time(probe)
+        self._cpu_busy_until = finish
+        self.network.loop.schedule_at(
+            finish,
+            lambda: self.network.send(self.name, dst, payload, size_bytes),
+            priority=9,
+            label=f"send:{self.name}",
+        )
+
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet) -> None:
+        if self.failed:
+            return
+        now = self.network.loop.now
+        start = max(now, self._cpu_busy_until)
+        finish = start + self.cpu.service_time(packet)
+        self._cpu_busy_until = finish
+        self.network.loop.schedule_at(
+            finish, lambda: self._dispatch(packet), priority=8, label=f"cpu:{self.name}"
+        )
+
+    def _dispatch(self, packet: Packet) -> None:
+        if self.failed:
+            return
+        self.messages_received += 1
+        self.bytes_received += packet.total_bytes()
+        if self._handler is not None:
+            self._handler(packet.src, packet.payload)
+
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        """Crash-stop the host: drop all future traffic and processing."""
+        self.failed = True
+
+    def recover(self) -> None:
+        """Bring a crashed host back (protocol-level rejoin is separate)."""
+        self.failed = False
+
+    def cpu_utilization(self, elapsed_s: float) -> float:
+        if elapsed_s <= 0:
+            return 0.0
+        return min(1.0, self._cpu_busy_until / elapsed_s) if self._cpu_busy_until else 0.0
+
+
+class Network:
+    """The set of hosts, switches and links plus routing.
+
+    Links are added with :meth:`add_link` (which creates one unidirectional
+    :class:`Link` per direction).  Routing tables are computed lazily with
+    BFS weighted by hop count; topologies built by
+    :mod:`repro.sim.topology` are trees so shortest paths are unique.
+    """
+
+    def __init__(self, loop: EventLoop) -> None:
+        self.loop = loop
+        self.hosts: Dict[str, Host] = {}
+        self.switches: Dict[str, Switch] = {}
+        self.links: Dict[Tuple[str, str], Link] = {}
+        self._adjacency: Dict[str, List[str]] = {}
+        self._routes: Dict[str, Dict[str, str]] = {}
+        self._packet_ids = itertools.count(1)
+        self._routes_dirty = True
+        self.local_loopback_latency_s = 5e-6
+        self.dropped_packets = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_host(self, name: str, cpu: Optional[CpuModel] = None) -> Host:
+        if name in self.hosts or name in self.switches:
+            raise SimulationError(f"duplicate network element {name!r}")
+        host = Host(self, name, cpu=cpu)
+        self.hosts[name] = host
+        self._adjacency.setdefault(name, [])
+        self._routes_dirty = True
+        return host
+
+    def add_switch(self, name: str, forwarding_delay_s: float = 0.0) -> Switch:
+        if name in self.hosts or name in self.switches:
+            raise SimulationError(f"duplicate network element {name!r}")
+        switch = Switch(self, name, forwarding_delay_s)
+        self.switches[name] = switch
+        self._adjacency.setdefault(name, [])
+        self._routes_dirty = True
+        return switch
+
+    def element(self, name: str) -> NetworkElement:
+        if name in self.hosts:
+            return self.hosts[name]
+        if name in self.switches:
+            return self.switches[name]
+        raise KeyError(name)
+
+    def add_link(self, a: str, b: str, latency_s: float, bandwidth_bps: float) -> None:
+        """Create a bidirectional link between elements ``a`` and ``b``."""
+        element_a = self.element(a)
+        element_b = self.element(b)
+        forward = Link(self.loop, f"{a}->{b}", latency_s, bandwidth_bps, element_b.receive)
+        backward = Link(self.loop, f"{b}->{a}", latency_s, bandwidth_bps, element_a.receive)
+        self.links[(a, b)] = forward
+        self.links[(b, a)] = backward
+        element_a.interface.connect(forward, b)
+        element_b.interface.connect(backward, a)
+        self._adjacency[a].append(b)
+        self._adjacency[b].append(a)
+        self._routes_dirty = True
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _rebuild_routes(self) -> None:
+        self._routes = {}
+        for source in self._adjacency:
+            next_hop: Dict[str, str] = {}
+            visited = {source}
+            queue = deque([(neighbor, neighbor) for neighbor in self._adjacency[source]])
+            for neighbor, _ in queue:
+                visited.add(neighbor)
+            while queue:
+                node, first = queue.popleft()
+                next_hop[node] = first
+                for neighbor in self._adjacency[node]:
+                    if neighbor not in visited:
+                        visited.add(neighbor)
+                        queue.append((neighbor, first))
+            self._routes[source] = next_hop
+        self._routes_dirty = False
+
+    def next_hop(self, src: str, dst: str) -> str:
+        if self._routes_dirty:
+            self._rebuild_routes()
+        try:
+            return self._routes[src][dst]
+        except KeyError as exc:
+            raise SimulationError(f"no route from {src} to {dst}") from exc
+
+    def path(self, src: str, dst: str) -> List[str]:
+        """Return the full element path from ``src`` to ``dst`` (exclusive of src)."""
+        if self._routes_dirty:
+            self._rebuild_routes()
+        path = []
+        current = src
+        guard = 0
+        while current != dst:
+            current = self._routes[current][dst]
+            path.append(current)
+            guard += 1
+            if guard > len(self._adjacency) + 1:
+                raise SimulationError(f"routing loop from {src} to {dst}")
+        return path
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def send(self, src: str, dst: str, payload: Any, size_bytes: int) -> None:
+        """Inject a packet from host ``src`` to host ``dst``."""
+        if src not in self.hosts or dst not in self.hosts:
+            raise SimulationError(f"send requires host endpoints ({src} -> {dst})")
+        if self.hosts[dst].failed:
+            self.dropped_packets += 1
+            return
+        packet = Packet(
+            src=src,
+            dst=dst,
+            payload=payload,
+            size_bytes=size_bytes,
+            packet_id=next(self._packet_ids),
+            sent_at=self.loop.now,
+        )
+        if src == dst:
+            self.loop.schedule(
+                self.local_loopback_latency_s,
+                lambda: self.hosts[dst].receive(packet),
+                priority=5,
+                label="loopback",
+            )
+            return
+        next_element = self.next_hop(src, dst)
+        link = self.hosts[src].interface.links[next_element]
+        link.transmit(packet)
+
+    # ------------------------------------------------------------------
+    # Introspection helpers used by benchmarks
+    # ------------------------------------------------------------------
+    def total_bytes_on(self, link_pairs: Iterable[Tuple[str, str]]) -> int:
+        return sum(self.links[pair].bytes_sent for pair in link_pairs if pair in self.links)
+
+    def link(self, a: str, b: str) -> Link:
+        return self.links[(a, b)]

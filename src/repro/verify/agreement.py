@@ -1,0 +1,49 @@
+"""Agreement, total-order and FIFO checks over commit logs."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.verify.history import History
+
+__all__ = ["check_agreement", "check_prefix_consistency", "check_fifo_client_order"]
+
+
+def check_agreement(orders: Dict[str, Sequence[int]]) -> Tuple[bool, str]:
+    """All nodes that committed the same number of requests agree exactly.
+
+    ``orders`` maps node id to its committed request-id sequence.  Nodes may
+    trail behind (prefix), but no two nodes may disagree on a committed
+    position (the Agreement property of §6).
+    """
+    ok, message = check_prefix_consistency(orders)
+    if not ok:
+        return ok, message
+    return True, "agreement holds"
+
+
+def check_prefix_consistency(orders: Dict[str, Sequence[int]]) -> Tuple[bool, str]:
+    """Every committed sequence is a prefix of the longest one."""
+    if not orders:
+        return True, "no nodes"
+    longest_node = max(orders, key=lambda node: len(orders[node]))
+    reference = list(orders[longest_node])
+    for node, sequence in orders.items():
+        for position, request_id in enumerate(sequence):
+            if position >= len(reference) or reference[position] != request_id:
+                return (
+                    False,
+                    f"node {node} disagrees at position {position}: "
+                    f"{request_id} != {reference[position] if position < len(reference) else 'missing'}",
+                )
+    return True, "prefix consistency holds"
+
+
+def check_fifo_client_order(history: History) -> Tuple[bool, str]:
+    """Per client, operations complete in the order they were invoked (§6)."""
+    for client_id, operations in history.by_client().items():
+        ordered = sorted(operations, key=lambda op: op.invoked_at)
+        completions = [op.completed_at for op in ordered]
+        if completions != sorted(completions):
+            return False, f"client {client_id} observed out-of-order completions"
+    return True, "FIFO client order holds"

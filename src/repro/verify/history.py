@@ -1,0 +1,75 @@
+"""Operation histories for linearizability checking."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["Operation", "History"]
+
+
+@dataclass
+class Operation:
+    """One completed client operation with its real-time interval."""
+
+    op_id: int
+    client_id: str
+    kind: str  # "read" or "write"
+    key: str
+    value: Optional[str]
+    invoked_at: float
+    completed_at: float
+
+    def overlaps(self, other: "Operation") -> bool:
+        return not (self.completed_at < other.invoked_at or other.completed_at < self.invoked_at)
+
+    def precedes(self, other: "Operation") -> bool:
+        """True when this operation completed before ``other`` was invoked."""
+        return self.completed_at < other.invoked_at
+
+
+class History:
+    """A set of completed operations, grouped by key for per-key checking."""
+
+    def __init__(self) -> None:
+        self.operations: List[Operation] = []
+        self._next_id = 1
+
+    def add(
+        self,
+        client_id: str,
+        kind: str,
+        key: str,
+        value: Optional[str],
+        invoked_at: float,
+        completed_at: float,
+    ) -> Operation:
+        if completed_at < invoked_at:
+            raise ValueError("operation completed before it was invoked")
+        operation = Operation(
+            op_id=self._next_id,
+            client_id=client_id,
+            kind=kind,
+            key=key,
+            value=value,
+            invoked_at=invoked_at,
+            completed_at=completed_at,
+        )
+        self._next_id += 1
+        self.operations.append(operation)
+        return operation
+
+    def by_key(self) -> Dict[str, List[Operation]]:
+        grouped: Dict[str, List[Operation]] = {}
+        for operation in self.operations:
+            grouped.setdefault(operation.key, []).append(operation)
+        return grouped
+
+    def by_client(self) -> Dict[str, List[Operation]]:
+        grouped: Dict[str, List[Operation]] = {}
+        for operation in self.operations:
+            grouped.setdefault(operation.client_id, []).append(operation)
+        return grouped
+
+    def __len__(self) -> int:
+        return len(self.operations)

@@ -1,0 +1,73 @@
+"""A Wing & Gong style linearizability checker for register histories.
+
+The checker works per key (each key is an independent register).  It
+searches for a legal sequential order of the key's completed operations
+that (a) respects real time — an operation that completed before another
+was invoked must be ordered first — and (b) is consistent with register
+semantics — every read returns the value of the most recent preceding
+write, or the initial value (``None``) if there is none.
+
+The search is exponential in the number of *concurrent* operations, so the
+checker is intended for the verification test suite's small histories, not
+for full benchmark runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.verify.history import History, Operation
+
+__all__ = ["check_linearizable_key", "check_linearizable_history"]
+
+
+def check_linearizable_key(
+    operations: Sequence[Operation], initial_value: Optional[str] = None
+) -> bool:
+    """Is the per-key history linearizable as a single register?"""
+    pending = list(operations)
+    if not pending:
+        return True
+    memo: Dict[Tuple[FrozenSet[int], Optional[str]], bool] = {}
+
+    def minimal_ops(remaining: List[Operation]) -> List[Operation]:
+        """Operations that no other remaining operation strictly precedes."""
+        result = []
+        for candidate in remaining:
+            if not any(other.precedes(candidate) for other in remaining if other is not candidate):
+                result.append(candidate)
+        return result
+
+    def search(remaining: List[Operation], current_value: Optional[str]) -> bool:
+        if not remaining:
+            return True
+        key = (frozenset(op.op_id for op in remaining), current_value)
+        if key in memo:
+            return memo[key]
+        outcome = False
+        for candidate in minimal_ops(remaining):
+            if candidate.kind == "read":
+                if candidate.value != current_value:
+                    continue
+                next_value = current_value
+            else:
+                next_value = candidate.value
+            rest = [op for op in remaining if op is not candidate]
+            if search(rest, next_value):
+                outcome = True
+                break
+        memo[key] = outcome
+        return outcome
+
+    return search(pending, initial_value)
+
+
+def check_linearizable_history(
+    history: History, initial_values: Optional[Dict[str, Optional[str]]] = None
+) -> Tuple[bool, str]:
+    """Check every key of ``history``; returns (ok, first offending key)."""
+    initial_values = initial_values or {}
+    for key, operations in history.by_key().items():
+        if not check_linearizable_key(operations, initial_values.get(key)):
+            return False, f"history for key {key!r} is not linearizable"
+    return True, "history is linearizable"

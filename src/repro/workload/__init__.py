@@ -1,0 +1,19 @@
+"""Workload generation: the client side of the paper's experiments.
+
+Clients are bound to a consensus node in the same rack/datacenter and issue
+16-byte key-value reads and writes according to a Poisson process, exactly
+as in §8.1 (180 clients over 15 machines) and §8.2 (100 clients per
+datacenter).
+"""
+
+from repro.workload.keyspace import Keyspace
+from repro.workload.clients import ClientHostAgent, ClientProcess
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+
+__all__ = [
+    "Keyspace",
+    "ClientProcess",
+    "ClientHostAgent",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+]

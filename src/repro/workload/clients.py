@@ -1,0 +1,123 @@
+"""Simulated clients.
+
+A *client process* is the unit the paper counts (180 in the single-DC
+experiments, 100 per datacenter in the wide-area ones): it is bound to one
+consensus node and issues requests with Poisson-distributed inter-arrival
+times.  Because many client processes run on each physical client machine,
+a :class:`ClientHostAgent` multiplexes all the processes of one simulated
+client host over that host's single network endpoint.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.canopus.messages import ClientReply, ClientRequest, RequestType
+from repro.metrics.collector import MetricsCollector
+from repro.runtime.base import Runtime
+from repro.workload.keyspace import Keyspace
+
+__all__ = ["ClientProcess", "ClientHostAgent"]
+
+
+@dataclass
+class ClientProcess:
+    """One logical client bound to one consensus node."""
+
+    process_id: str
+    target_node: str
+    request_rate_hz: float
+    write_ratio: float
+    #: Maximum number of outstanding requests; the paper's baseline model
+    #: allows several, the write-lease model (§7.2) requires exactly one.
+    max_outstanding: int = 4
+    outstanding: int = 0
+    sent: int = 0
+    completed: int = 0
+
+
+class ClientHostAgent:
+    """Drives all client processes hosted on one client machine."""
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        processes: List[ClientProcess],
+        keyspace: Keyspace,
+        collector: MetricsCollector,
+        rng: Optional[random.Random] = None,
+        open_loop: bool = True,
+    ) -> None:
+        self.runtime = runtime
+        self.processes = processes
+        self.keyspace = keyspace
+        self.collector = collector
+        self.rng = rng or runtime.rng
+        self.open_loop = open_loop
+        self._inflight: Dict[int, ClientProcess] = {}
+        self.running = False
+        runtime.set_handler(self.on_message)
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start every client process's arrival timer."""
+        if self.running:
+            return
+        self.running = True
+        for process in self.processes:
+            self._schedule_next(process)
+
+    def stop(self) -> None:
+        self.running = False
+
+    # ------------------------------------------------------------------
+    def _schedule_next(self, process: ClientProcess) -> None:
+        if not self.running or process.request_rate_hz <= 0:
+            return
+        delay = self.rng.expovariate(process.request_rate_hz)
+        self.runtime.after(delay, lambda: self._fire(process))
+
+    def _fire(self, process: ClientProcess) -> None:
+        if not self.running:
+            return
+        if self.open_loop or process.outstanding < process.max_outstanding:
+            self._send_request(process)
+        self._schedule_next(process)
+
+    def _send_request(self, process: ClientProcess) -> None:
+        is_write = self.rng.random() < process.write_ratio
+        request = ClientRequest(
+            client_id=process.process_id,
+            op=RequestType.WRITE if is_write else RequestType.READ,
+            key=self.keyspace.next_key(),
+            value=self.keyspace.next_value() if is_write else None,
+            submitted_at=self.runtime.now(),
+        )
+        self._inflight[request.request_id] = process
+        process.outstanding += 1
+        process.sent += 1
+        self.collector.record_submit(request)
+        self.runtime.send(process.target_node, request, request.wire_size())
+
+    # ------------------------------------------------------------------
+    def on_message(self, sender: str, message: object) -> None:
+        if not isinstance(message, ClientReply):
+            return
+        process = self._inflight.pop(message.request_id, None)
+        if process is None:
+            return
+        process.outstanding -= 1
+        process.completed += 1
+        self.collector.record_reply(message, completed_at=self.runtime.now())
+        if not self.open_loop and self.running:
+            # Closed loop: immediately issue the next request.
+            self._send_request(process)
+
+    # ------------------------------------------------------------------
+    def total_sent(self) -> int:
+        return sum(process.sent for process in self.processes)
+
+    def total_completed(self) -> int:
+        return sum(process.completed for process in self.processes)

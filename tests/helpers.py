@@ -1,0 +1,53 @@
+"""Shared helpers for the protocol test suites."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.builders import build_system, make_single_dc_topology
+from repro.canopus.cluster import CanopusCluster, build_sim_cluster
+from repro.canopus.config import CanopusConfig
+from repro.canopus.messages import ClientReply, ClientRequest, RequestType
+from repro.sim.engine import Simulator
+from repro.sim.topology import Topology, build_single_datacenter
+
+
+def fast_config(**overrides) -> CanopusConfig:
+    """A Canopus configuration tuned for quick deterministic tests."""
+    defaults = dict(
+        lot_height=2,
+        cycle_interval_s=0.01,
+        broadcast_mode="ideal",
+        pipelining=False,
+        heartbeat_interval_s=0.02,
+        fetch_timeout_s=0.2,
+    )
+    defaults.update(overrides)
+    return CanopusConfig(**defaults)
+
+
+def build_canopus_on_sim(
+    nodes_per_rack: int = 3,
+    racks: int = 3,
+    config: Optional[CanopusConfig] = None,
+    seed: int = 9,
+) -> Tuple[Simulator, Topology, CanopusCluster, List[ClientReply]]:
+    """A Canopus cluster on the single-DC topology with a reply sink."""
+    simulator = Simulator(seed=seed)
+    topology = build_single_datacenter(simulator, nodes_per_rack=nodes_per_rack, racks=racks)
+    replies: List[ClientReply] = []
+    cluster = build_sim_cluster(topology, config=config or fast_config(), on_reply=replies.append)
+    cluster.start()
+    return simulator, topology, cluster, replies
+
+
+def write(key: str, value: str, client: str = "client") -> ClientRequest:
+    return ClientRequest(client_id=client, op=RequestType.WRITE, key=key, value=value)
+
+
+def read(key: str, client: str = "client") -> ClientRequest:
+    return ClientRequest(client_id=client, op=RequestType.READ, key=key)
+
+
+def committed_orders(cluster: CanopusCluster) -> Dict[str, List[int]]:
+    return {node_id: node.committed_order() for node_id, node in cluster.nodes.items()}

@@ -1,0 +1,134 @@
+"""Failure-injection tests: node crashes, membership updates, stalls."""
+
+import pytest
+
+from repro.canopus.messages import MembershipUpdate
+from repro.verify.agreement import check_agreement
+from tests.helpers import build_canopus_on_sim, committed_orders, fast_config, write
+
+
+def crash(topology, cluster, node_id):
+    """Crash-stop a node at both the protocol and the network level."""
+    topology.network.hosts[node_id].fail()
+    cluster.nodes[node_id].crash()
+
+
+class TestSingleNodeFailure:
+    def test_consensus_continues_after_one_node_crashes(self):
+        config = fast_config(broadcast_mode="raft", heartbeat_interval_s=0.02)
+        sim, topology, cluster, _ = build_canopus_on_sim(nodes_per_rack=3, racks=3, config=config)
+        # Commit something with everyone alive first.
+        cluster.nodes["n0-0"].submit(write("before", "1"))
+        sim.run_until(1.0)
+        crash(topology, cluster, "n1-2")
+        sim.run_until(2.0)  # let the failure detector fire
+        cluster.nodes["n0-0"].submit(write("after", "2"))
+        sim.run_until(4.0)
+        survivors = {nid: node for nid, node in cluster.nodes.items() if nid != "n1-2"}
+        for node in survivors.values():
+            keys = [r.key for r in node.committed_requests()]
+            assert keys == ["before", "after"]
+
+    def test_failed_peer_is_removed_from_live_view(self):
+        config = fast_config(broadcast_mode="raft", heartbeat_interval_s=0.02)
+        sim, topology, cluster, _ = build_canopus_on_sim(nodes_per_rack=3, racks=3, config=config)
+        cluster.nodes["n0-0"].submit(write("warmup", "x"))
+        sim.run_until(1.0)
+        crash(topology, cluster, "n1-2")
+        sim.run_until(2.0)
+        cluster.nodes["n0-0"].submit(write("post", "y"))
+        sim.run_until(4.0)
+        for peer_id in ("n1-0", "n1-1"):
+            assert "n1-2" not in cluster.nodes[peer_id].live_members
+
+    def test_membership_update_propagates_to_all_emulation_tables(self):
+        config = fast_config(broadcast_mode="raft", heartbeat_interval_s=0.02)
+        sim, topology, cluster, _ = build_canopus_on_sim(nodes_per_rack=3, racks=3, config=config)
+        cluster.nodes["n0-0"].submit(write("warmup", "x"))
+        sim.run_until(1.0)
+        crash(topology, cluster, "n1-2")
+        sim.run_until(2.0)
+        # Two more cycles so the membership change is carried and applied.
+        cluster.nodes["n0-0"].submit(write("carry", "y"))
+        sim.run_until(3.5)
+        cluster.nodes["n2-0"].submit(write("settle", "z"))
+        sim.run_until(5.0)
+        applied_anywhere = any(
+            MembershipUpdate(action="delete", node_id="n1-2", super_leaf="rack-1") in node.membership.applied
+            for node in cluster.nodes.values()
+            if node.node_id != "n1-2"
+        )
+        assert applied_anywhere
+        # Every node that applied the update no longer lists n1-2 as an emulator.
+        for node in cluster.nodes.values():
+            if node.node_id == "n1-2":
+                continue
+            if any(update.node_id == "n1-2" for update in node.membership.applied):
+                assert "n1-2" not in node.emulation_table.emulators("1")
+
+    def test_crashed_node_does_not_commit_new_requests(self):
+        config = fast_config(broadcast_mode="raft", heartbeat_interval_s=0.02)
+        sim, topology, cluster, _ = build_canopus_on_sim(nodes_per_rack=3, racks=3, config=config)
+        cluster.nodes["n0-0"].submit(write("before", "1"))
+        sim.run_until(1.0)
+        crash(topology, cluster, "n2-2")
+        cluster.nodes["n0-0"].submit(write("after", "2"))
+        sim.run_until(3.0)
+        dead_keys = [r.key for r in cluster.nodes["n2-2"].committed_requests()]
+        assert "after" not in dead_keys
+
+
+class TestRepresentativeFailure:
+    def test_surviving_representative_still_fetches_remote_state(self):
+        """Redundant fetching (§4.5): kill one of the two representatives."""
+        config = fast_config(broadcast_mode="raft", heartbeat_interval_s=0.02, redundant_fetches=2)
+        sim, topology, cluster, _ = build_canopus_on_sim(nodes_per_rack=3, racks=3, config=config)
+        cluster.nodes["n0-0"].submit(write("warmup", "x"))
+        sim.run_until(1.0)
+        crash(topology, cluster, "n0-0")  # n0-0 is a representative of rack-0
+        sim.run_until(2.0)
+        cluster.nodes["n0-2"].submit(write("after-rep-crash", "y"))
+        sim.run_until(5.0)
+        for node_id in ("n0-1", "n0-2"):
+            keys = [r.key for r in cluster.nodes[node_id].committed_requests()]
+            assert "after-rep-crash" in keys
+
+
+class TestSuperLeafFailure:
+    def test_consensus_stalls_when_a_whole_super_leaf_fails(self):
+        """If every node of a super-leaf dies, live nodes stall (§6) rather
+        than returning a result."""
+        config = fast_config(broadcast_mode="raft", heartbeat_interval_s=0.02, fetch_timeout_s=0.1)
+        sim, topology, cluster, _ = build_canopus_on_sim(nodes_per_rack=3, racks=3, config=config)
+        cluster.nodes["n0-0"].submit(write("before", "1"))
+        sim.run_until(1.0)
+        committed_before = cluster.nodes["n0-0"].last_committed_cycle
+        for node_id in ("n1-0", "n1-1", "n1-2"):
+            crash(topology, cluster, node_id)
+        cluster.nodes["n0-0"].submit(write("stalled-write", "2"))
+        sim.run_until(4.0)
+        for node_id, node in cluster.nodes.items():
+            if node_id.startswith("n1-"):
+                continue
+            keys = [r.key for r in node.committed_requests()]
+            assert "stalled-write" not in keys
+        # No survivor committed anything beyond what was already committed
+        # plus at most the cycle that was in flight before the crash.
+        assert cluster.nodes["n0-0"].last_committed_cycle <= committed_before + 1
+
+    def test_agreement_holds_even_while_stalled(self):
+        config = fast_config(broadcast_mode="raft", heartbeat_interval_s=0.02, fetch_timeout_s=0.1)
+        sim, topology, cluster, _ = build_canopus_on_sim(nodes_per_rack=3, racks=3, config=config)
+        cluster.nodes["n0-0"].submit(write("before", "1"))
+        sim.run_until(1.0)
+        for node_id in ("n2-0", "n2-1", "n2-2"):
+            crash(topology, cluster, node_id)
+        cluster.nodes["n0-1"].submit(write("maybe", "2"))
+        sim.run_until(3.0)
+        orders = {
+            node_id: node.committed_order()
+            for node_id, node in cluster.nodes.items()
+            if not node_id.startswith("n2-")
+        }
+        ok, message = check_agreement(orders)
+        assert ok, message

@@ -1,0 +1,247 @@
+"""Core Canopus protocol tests: agreement, ordering, reads, cycles.
+
+These tests exercise the full protocol stack (LOT, proposals, reliable
+broadcast, representatives, commit) on the deterministic simulator.
+"""
+
+import pytest
+
+from repro.canopus.messages import RequestType
+from repro.verify.agreement import check_agreement
+from tests.helpers import build_canopus_on_sim, committed_orders, fast_config, read, write
+
+
+class TestSingleSuperLeaf:
+    def test_one_write_commits_on_every_node(self):
+        sim, _, cluster, replies = build_canopus_on_sim(nodes_per_rack=3, racks=1)
+        node = next(iter(cluster.nodes.values()))
+        node.submit(write("k", "v"))
+        sim.run_until(1.0)
+        for member in cluster.nodes.values():
+            assert [r.key for r in member.committed_requests()] == ["k"]
+
+    def test_write_reply_sent_once_committed(self):
+        sim, _, cluster, replies = build_canopus_on_sim(nodes_per_rack=3, racks=1)
+        node = next(iter(cluster.nodes.values()))
+        request = write("k", "v")
+        node.submit(request)
+        sim.run_until(1.0)
+        assert any(reply.request_id == request.request_id for reply in replies)
+        reply = next(r for r in replies if r.request_id == request.request_id)
+        assert reply.op is RequestType.WRITE
+        assert reply.committed_cycle is not None
+
+    def test_requests_from_same_node_keep_arrival_order(self):
+        sim, _, cluster, _ = build_canopus_on_sim(nodes_per_rack=3, racks=1)
+        node = next(iter(cluster.nodes.values()))
+        for i in range(5):
+            node.submit(write(f"k{i}", str(i)))
+        sim.run_until(1.0)
+        committed_keys = [r.key for r in node.committed_requests()]
+        assert committed_keys == [f"k{i}" for i in range(5)]
+
+
+class TestMultiSuperLeafAgreement:
+    def test_all_nodes_commit_identical_order(self):
+        sim, _, cluster, _ = build_canopus_on_sim(nodes_per_rack=3, racks=3)
+        for index, node in enumerate(cluster.nodes.values()):
+            node.submit(write(f"key-{index}", f"value-{index}"))
+        sim.run_until(2.0)
+        orders = committed_orders(cluster)
+        lengths = {len(order) for order in orders.values()}
+        assert lengths == {9}
+        ok, message = check_agreement(orders)
+        assert ok, message
+
+    def test_agreement_with_raft_broadcast(self):
+        sim, _, cluster, _ = build_canopus_on_sim(
+            nodes_per_rack=3, racks=3, config=fast_config(broadcast_mode="raft")
+        )
+        for index, node in enumerate(cluster.nodes.values()):
+            node.submit(write(f"key-{index}", f"value-{index}"))
+        sim.run_until(2.0)
+        orders = committed_orders(cluster)
+        assert {len(order) for order in orders.values()} == {9}
+        ok, message = check_agreement(orders)
+        assert ok, message
+
+    def test_multiple_cycles_preserve_total_order_prefix(self):
+        sim, _, cluster, _ = build_canopus_on_sim(nodes_per_rack=3, racks=3)
+        nodes = list(cluster.nodes.values())
+        nodes[0].submit(write("first", "1"))
+        sim.run_until(1.0)
+        nodes[5].submit(write("second", "2"))
+        sim.run_until(2.0)
+        for node in nodes:
+            keys = [r.key for r in node.committed_requests()]
+            assert keys == ["first", "second"]
+
+    def test_agreement_under_concurrent_load(self):
+        sim, _, cluster, _ = build_canopus_on_sim(nodes_per_rack=3, racks=3)
+        nodes = list(cluster.nodes.values())
+        for round_index in range(4):
+            for node_index, node in enumerate(nodes):
+                node.submit(write(f"r{round_index}-n{node_index}", "x"))
+            sim.run_until((round_index + 1) * 0.5)
+        sim.run_until(4.0)
+        orders = committed_orders(cluster)
+        assert {len(order) for order in orders.values()} == {36}
+        ok, message = check_agreement(orders)
+        assert ok, message
+
+    def test_throughput_stats_update(self):
+        sim, _, cluster, _ = build_canopus_on_sim(nodes_per_rack=3, racks=3)
+        node = next(iter(cluster.nodes.values()))
+        node.submit(write("k", "v"))
+        sim.run_until(1.0)
+        assert node.stats["writes_committed"] == 1
+        assert node.stats["cycles_committed"] >= 1
+
+
+class TestSelfSynchronization:
+    def test_idle_super_leaves_join_the_cycle(self):
+        """A cycle triggered on one super-leaf drags the idle ones along (§4.4)."""
+        sim, _, cluster, _ = build_canopus_on_sim(nodes_per_rack=3, racks=3)
+        first_node = next(iter(cluster.nodes.values()))
+        first_node.submit(write("solo", "x"))
+        sim.run_until(2.0)
+        for node in cluster.nodes.values():
+            assert node.last_committed_cycle >= 1
+            assert [r.key for r in node.committed_requests()] == ["solo"]
+
+    def test_cycles_start_in_sequence_never_skip(self):
+        sim, _, cluster, _ = build_canopus_on_sim(nodes_per_rack=3, racks=3)
+        nodes = list(cluster.nodes.values())
+        for i in range(3):
+            nodes[i].submit(write(f"k{i}", "v"))
+            sim.run_until((i + 1) * 0.4)
+        sim.run_until(3.0)
+        for node in nodes:
+            committed_cycles = [cycle.cycle_id for cycle in node.commit_log]
+            assert committed_cycles == sorted(committed_cycles)
+            assert committed_cycles == list(range(1, len(committed_cycles) + 1))
+
+
+class TestReads:
+    def test_read_returns_previously_committed_value(self):
+        sim, _, cluster, replies = build_canopus_on_sim(nodes_per_rack=3, racks=3)
+        nodes = list(cluster.nodes.values())
+        nodes[0].submit(write("color", "blue"))
+        sim.run_until(1.0)
+        read_request = read("color")
+        nodes[4].submit(read_request)
+        sim.run_until(2.0)
+        reply = next(r for r in replies if r.request_id == read_request.request_id)
+        assert reply.value == "blue"
+
+    def test_read_is_delayed_until_next_cycle_commits(self):
+        sim, _, cluster, replies = build_canopus_on_sim(nodes_per_rack=3, racks=3)
+        node = next(iter(cluster.nodes.values()))
+        read_request = read("anything")
+        node.submit(read_request)
+        assert not any(r.request_id == read_request.request_id for r in replies)
+        sim.run_until(2.0)
+        assert any(r.request_id == read_request.request_id for r in replies)
+
+    def test_read_sees_write_submitted_before_it_on_same_node(self):
+        sim, _, cluster, replies = build_canopus_on_sim(nodes_per_rack=3, racks=3)
+        node = next(iter(cluster.nodes.values()))
+        node.submit(write("x", "42"))
+        read_request = read("x")
+        node.submit(read_request)
+        sim.run_until(2.0)
+        reply = next(r for r in replies if r.request_id == read_request.request_id)
+        assert reply.value == "42"
+
+    def test_reads_are_not_disseminated(self):
+        """Read requests never appear in any node's commit log (§5)."""
+        sim, _, cluster, _ = build_canopus_on_sim(nodes_per_rack=3, racks=3)
+        nodes = list(cluster.nodes.values())
+        nodes[0].submit(write("k", "v"))
+        nodes[1].submit(read("k"))
+        nodes[2].submit(read("k"))
+        sim.run_until(2.0)
+        for node in cluster.nodes.values():
+            assert all(r.is_write() for r in node.committed_requests())
+
+    def test_reads_served_stat_counts(self):
+        sim, _, cluster, _ = build_canopus_on_sim(nodes_per_rack=3, racks=3)
+        node = next(iter(cluster.nodes.values()))
+        node.submit(read("a"))
+        node.submit(read("b"))
+        sim.run_until(2.0)
+        assert node.stats["reads_served"] == 2
+
+
+class TestWriteLeases:
+    def test_read_of_unleased_key_is_immediate(self):
+        config = fast_config(write_leases=True)
+        sim, _, cluster, replies = build_canopus_on_sim(nodes_per_rack=3, racks=3, config=config)
+        node = next(iter(cluster.nodes.values()))
+        request = read("cold-key")
+        node.submit(request)
+        # No cycle needs to run: the reply is produced synchronously.
+        assert any(r.request_id == request.request_id for r in replies)
+
+    def test_read_of_recently_written_key_is_deferred(self):
+        config = fast_config(write_leases=True, lease_cycles=5)
+        sim, _, cluster, replies = build_canopus_on_sim(nodes_per_rack=3, racks=3, config=config)
+        node = next(iter(cluster.nodes.values()))
+        node.submit(write("hot", "1"))
+        sim.run_until(1.0)
+        request = read("hot")
+        node.submit(request)
+        immediately = any(r.request_id == request.request_id for r in replies)
+        sim.run_until(3.0)
+        eventually = any(r.request_id == request.request_id for r in replies)
+        assert not immediately
+        assert eventually
+
+    def test_lease_expires_and_reads_become_immediate_again(self):
+        config = fast_config(write_leases=True, lease_cycles=1)
+        sim, _, cluster, replies = build_canopus_on_sim(nodes_per_rack=3, racks=3, config=config)
+        node = next(iter(cluster.nodes.values()))
+        node.submit(write("hot", "1"))
+        sim.run_until(1.0)
+        # Run several more cycles so the lease lapses.
+        for i in range(4):
+            node.submit(write(f"other-{i}", "x"))
+            sim.run_until(1.0 + (i + 1) * 0.5)
+        request = read("hot")
+        node.submit(request)
+        assert any(r.request_id == request.request_id for r in replies)
+
+
+class TestRepresentatives:
+    def test_representatives_are_first_sorted_live_members(self):
+        sim, _, cluster, _ = build_canopus_on_sim(nodes_per_rack=3, racks=3)
+        node = cluster.nodes["n0-0"]
+        assert node.representatives() == sorted(node.super_leaf.members)[:2]
+        assert node.is_representative()
+
+    def test_non_representative_does_not_fetch(self):
+        sim, _, cluster, _ = build_canopus_on_sim(nodes_per_rack=3, racks=3)
+        for index, node in enumerate(cluster.nodes.values()):
+            node.submit(write(f"k{index}", "v"))
+        sim.run_until(2.0)
+        non_rep = cluster.nodes["n0-2"]
+        assert not non_rep.is_representative()
+        assert non_rep.stats["proposal_requests_sent"] == 0
+        rep = cluster.nodes["n0-0"]
+        assert rep.stats["proposal_requests_sent"] > 0
+
+    def test_pipelined_cycles_commit_in_order(self):
+        config = fast_config(pipelining=True, cycle_interval_s=0.02, max_inflight_cycles=4)
+        sim, _, cluster, _ = build_canopus_on_sim(nodes_per_rack=3, racks=3, config=config)
+        nodes = list(cluster.nodes.values())
+        for burst in range(5):
+            for node in nodes[:3]:
+                node.submit(write(f"b{burst}-{node.node_id}", "v"))
+            sim.run_until(0.1 * (burst + 1))
+        sim.run_until(3.0)
+        orders = committed_orders(cluster)
+        ok, message = check_agreement(orders)
+        assert ok, message
+        for node in nodes:
+            cycles = [cycle.cycle_id for cycle in node.commit_log]
+            assert cycles == sorted(cycles)

@@ -1,0 +1,157 @@
+"""Tests for the znode store and the persistence model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kvstore.persistence import PersistenceModel, StorageDevice
+from repro.kvstore.store import BadVersionError, KVStore, NodeExistsError, NoNodeError
+
+
+class TestZNodeTree:
+    def test_create_and_get(self):
+        store = KVStore()
+        store.create("/app", "root-value")
+        assert store.get("/app") == "root-value"
+
+    def test_create_nested_requires_parents_flag(self):
+        store = KVStore()
+        with pytest.raises(NoNodeError):
+            store.create("/a/b/c", "x")
+        store.create("/a/b/c", "x", parents=True)
+        assert store.get("/a/b/c") == "x"
+
+    def test_create_existing_raises(self):
+        store = KVStore()
+        store.create("/a", "1")
+        with pytest.raises(NodeExistsError):
+            store.create("/a", "2")
+
+    def test_set_bumps_version(self):
+        store = KVStore()
+        store.create("/a", "1")
+        assert store.stat("/a")["version"] == 0
+        store.set("/a", "2")
+        assert store.stat("/a")["version"] == 1
+        assert store.get("/a") == "2"
+
+    def test_conditional_set_with_stale_version_fails(self):
+        store = KVStore()
+        store.create("/a", "1")
+        store.set("/a", "2")
+        with pytest.raises(BadVersionError):
+            store.set("/a", "3", expected_version=0)
+
+    def test_delete_leaf(self):
+        store = KVStore()
+        store.create("/a/b", "x", parents=True)
+        store.delete("/a/b")
+        assert not store.exists("/a/b")
+        assert store.exists("/a")
+
+    def test_delete_with_children_rejected(self):
+        store = KVStore()
+        store.create("/a/b", "x", parents=True)
+        with pytest.raises(ValueError):
+            store.delete("/a")
+
+    def test_delete_missing_raises(self):
+        store = KVStore()
+        with pytest.raises(NoNodeError):
+            store.delete("/ghost")
+
+    def test_children_sorted(self):
+        store = KVStore()
+        for name in ("zeta", "alpha", "mid"):
+            store.create(f"/dir/{name}", "", parents=True)
+        assert store.children("/dir") == ["alpha", "mid", "zeta"]
+
+    def test_relative_paths_rejected(self):
+        store = KVStore()
+        with pytest.raises(ValueError):
+            store.create("relative", "x")
+
+    def test_zxid_monotonically_increases(self):
+        store = KVStore()
+        store.create("/a", "x")
+        first = store.stat("/a")["modified_zxid"]
+        store.set("/a", "y")
+        assert store.stat("/a")["modified_zxid"] > first
+
+    def test_size_and_snapshot(self):
+        store = KVStore()
+        store.create("/a/b", "x", parents=True)
+        store.create("/c", "y")
+        assert store.size() == 3
+        snapshot = store.snapshot()
+        assert snapshot["/a/b"] == ("x", 0)
+        assert snapshot["/c"] == ("y", 0)
+
+
+class TestFlatKVFacade:
+    def test_write_then_read(self):
+        store = KVStore()
+        store.write("user42", "hello")
+        assert store.read("user42") == "hello"
+
+    def test_read_missing_returns_none(self):
+        store = KVStore()
+        assert store.read("missing") is None
+
+    def test_overwrite_updates_value(self):
+        store = KVStore()
+        store.write("k", "v1")
+        store.write("k", "v2")
+        assert store.read("k") == "v2"
+
+    def test_counters(self):
+        store = KVStore()
+        store.write("k", "v")
+        store.read("k")
+        store.read("missing")
+        assert store.writes_applied >= 1
+        assert store.reads_served == 2
+
+    @given(st.lists(st.tuples(st.sampled_from(["w", "r"]),
+                              st.sampled_from(["a", "b", "c", "d"]),
+                              st.text(min_size=0, max_size=5)), max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_flat_kv_matches_dict_model(self, operations):
+        """The flat facade behaves exactly like a Python dict."""
+        store = KVStore()
+        model = {}
+        for kind, key, value in operations:
+            if kind == "w":
+                store.write(key, value)
+                model[key] = value
+            else:
+                assert store.read(key) == model.get(key)
+
+
+class TestPersistence:
+    def test_memory_device_is_fastest(self):
+        assert StorageDevice.MEMORY.append_latency_s < StorageDevice.SSD.append_latency_s
+        assert StorageDevice.SSD.append_latency_s < StorageDevice.HDD.append_latency_s
+
+    def test_append_returns_future_durable_time(self):
+        log = PersistenceModel(device=StorageDevice.SSD)
+        durable_at = log.append(now=1.0, size_bytes=100)
+        assert durable_at > 1.0
+
+    def test_ssd_adds_less_than_half_a_millisecond(self):
+        """The paper reports < 0.5 ms added median completion time (§8.1)."""
+        log = PersistenceModel(device=StorageDevice.SSD)
+        assert log.added_latency() < 0.0005
+
+    def test_group_commit_counts_flushes(self):
+        log = PersistenceModel(device=StorageDevice.MEMORY, group_size=4)
+        for i in range(8):
+            log.append(now=float(i), size_bytes=10)
+        assert log.flushes == 2
+        assert len(log) == 8
+
+    def test_total_bytes(self):
+        log = PersistenceModel()
+        log.append(0.0, 10)
+        log.append(0.1, 20)
+        assert log.total_bytes() == 30

@@ -1,0 +1,206 @@
+"""Tests for the Raft substrate (log, replication, election)."""
+
+import pytest
+
+from repro.raft.log import LogEntry, RaftLog
+from repro.raft.node import RaftConfig, RaftNode, Role
+from repro.runtime.sim_runtime import SimRuntime
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+
+
+class TestRaftLog:
+    def test_empty_log(self):
+        log = RaftLog()
+        assert len(log) == 0
+        assert log.last_index == 0
+        assert log.last_term == 0
+        assert log.term_at(0) == 0
+
+    def test_append_assigns_increasing_indices(self):
+        log = RaftLog()
+        first = log.append_new(1, "a")
+        second = log.append_new(1, "b")
+        assert (first.index, second.index) == (1, 2)
+
+    def test_entry_out_of_range_raises(self):
+        log = RaftLog()
+        with pytest.raises(IndexError):
+            log.entry(1)
+
+    def test_matches_consistency_check(self):
+        log = RaftLog()
+        log.append_new(1, "a")
+        assert log.matches(0, 0)
+        assert log.matches(1, 1)
+        assert not log.matches(1, 2)
+        assert not log.matches(5, 1)
+
+    def test_merge_appends_new_entries(self):
+        log = RaftLog()
+        log.merge(0, [LogEntry(term=1, index=1, command="a"), LogEntry(term=1, index=2, command="b")])
+        assert len(log) == 2
+
+    def test_merge_truncates_conflicting_suffix(self):
+        log = RaftLog()
+        log.append_new(1, "a")
+        log.append_new(1, "b")
+        log.append_new(1, "c")
+        log.merge(1, [LogEntry(term=2, index=2, command="B")])
+        assert len(log) == 2
+        assert log.entry(2).command == "B"
+        assert log.entry(2).term == 2
+
+    def test_merge_is_idempotent_for_matching_entries(self):
+        log = RaftLog()
+        log.append_new(1, "a")
+        log.merge(0, [LogEntry(term=1, index=1, command="a")])
+        assert len(log) == 1
+
+    def test_commands_range(self):
+        log = RaftLog()
+        for command in ("a", "b", "c"):
+            log.append_new(1, command)
+        assert log.commands(2, 3) == ["b", "c"]
+
+    def test_entries_from(self):
+        log = RaftLog()
+        for command in ("a", "b", "c"):
+            log.append_new(1, command)
+        assert [e.command for e in log.entries_from(2)] == ["b", "c"]
+        assert log.entries_from(9) == ()
+
+
+def build_raft_group(member_count=3, initial_leader="r0", seed=5):
+    """A fully connected simulated network with one Raft group on top."""
+    sim = Simulator(seed=seed)
+    network = Network(sim.loop)
+    names = [f"r{i}" for i in range(member_count)]
+    network.add_switch("sw")
+    for name in names:
+        network.add_host(name)
+        network.add_link(name, "sw", 2e-5, 1e9)
+    applied = {name: [] for name in names}
+    nodes = {}
+    for name in names:
+        runtime = SimRuntime(sim, network, network.hosts[name])
+        node = RaftNode(
+            runtime,
+            group_id="g",
+            members=names,
+            apply=lambda entry, n=name: applied[n].append(entry.command),
+            config=RaftConfig(initial_leader=initial_leader),
+        )
+        runtime.set_handler(node.on_message)
+        nodes[name] = node
+    return sim, network, nodes, applied
+
+
+class TestReplication:
+    def test_initial_leader_configured(self):
+        _, _, nodes, _ = build_raft_group()
+        assert nodes["r0"].is_leader
+        assert not nodes["r1"].is_leader
+
+    def test_leader_commits_after_majority(self):
+        sim, _, nodes, applied = build_raft_group()
+        nodes["r0"].propose("cmd-1")
+        sim.run_until(0.1)
+        assert applied["r0"] == ["cmd-1"]
+
+    def test_followers_apply_committed_entries(self):
+        sim, _, nodes, applied = build_raft_group()
+        nodes["r0"].propose("cmd-1")
+        nodes["r0"].propose("cmd-2")
+        sim.run_until(0.2)
+        for name in ("r1", "r2"):
+            assert applied[name] == ["cmd-1", "cmd-2"]
+
+    def test_follower_propose_returns_none(self):
+        _, _, nodes, _ = build_raft_group()
+        assert nodes["r1"].propose("nope") is None
+
+    def test_single_member_group_commits_immediately(self):
+        sim, _, nodes, applied = build_raft_group(member_count=1)
+        nodes["r0"].propose("solo")
+        sim.run_until(0.05)
+        assert applied["r0"] == ["solo"]
+
+    def test_commit_order_is_identical_everywhere(self):
+        sim, _, nodes, applied = build_raft_group(member_count=5)
+        for i in range(10):
+            nodes["r0"].propose(f"cmd-{i}")
+        sim.run_until(0.5)
+        reference = applied["r0"]
+        assert len(reference) == 10
+        for name, log in applied.items():
+            assert log == reference
+
+    def test_crashed_follower_does_not_block_commit(self):
+        sim, network, nodes, applied = build_raft_group(member_count=3)
+        network.hosts["r2"].fail()
+        nodes["r0"].propose("cmd")
+        sim.run_until(0.2)
+        assert applied["r0"] == ["cmd"]
+        assert applied["r1"] == ["cmd"]
+        assert applied["r2"] == []
+
+
+class TestElection:
+    def test_new_leader_elected_after_leader_crash(self):
+        sim, network, nodes, applied = build_raft_group(member_count=3)
+        nodes["r0"].propose("before-crash")
+        sim.run_until(0.2)
+        network.hosts["r0"].fail()
+        nodes["r0"].stop()
+        sim.run_until(2.0)
+        leaders = [name for name, node in nodes.items() if node.is_leader and name != "r0"]
+        assert len(leaders) == 1
+        # The new leader can still commit entries with the remaining majority.
+        new_leader = nodes[leaders[0]]
+        new_leader.propose("after-crash")
+        sim.run_until(3.0)
+        survivors = [name for name in nodes if name != "r0"]
+        for name in survivors:
+            assert applied[name] == ["before-crash", "after-crash"]
+
+    def test_term_increases_on_election(self):
+        sim, network, nodes, _ = build_raft_group(member_count=3)
+        initial_term = nodes["r1"].current_term
+        network.hosts["r0"].fail()
+        nodes["r0"].stop()
+        sim.run_until(2.0)
+        new_leader = next(node for name, node in nodes.items() if node.is_leader and name != "r0")
+        assert new_leader.current_term > initial_term
+
+    def test_vote_denied_to_stale_log(self):
+        sim, _, nodes, _ = build_raft_group(member_count=3)
+        for i in range(3):
+            nodes["r0"].propose(f"cmd-{i}")
+        sim.run_until(0.2)
+        from repro.raft.messages import RequestVote
+
+        stale = RequestVote(group_id="g", term=nodes["r1"].current_term + 1,
+                            candidate_id="r2", last_log_index=0, last_log_term=0)
+        nodes["r1"]._on_request_vote(stale)
+        assert nodes["r1"].voted_for != "r2"
+
+    def test_handles_filters_by_group_id(self):
+        _, _, nodes, _ = build_raft_group()
+        from repro.raft.messages import AppendEntries
+
+        own = AppendEntries(group_id="g", term=1, leader_id="r0", prev_log_index=0, prev_log_term=0)
+        other = AppendEntries(group_id="other", term=1, leader_id="r0", prev_log_index=0, prev_log_term=0)
+        assert nodes["r1"].handles(own)
+        assert not nodes["r1"].handles(other)
+
+    def test_remove_member_shrinks_majority(self):
+        sim, network, nodes, applied = build_raft_group(member_count=5)
+        for name in ("r3", "r4"):
+            network.hosts[name].fail()
+            nodes["r0"].remove_member(name)
+            nodes["r1"].remove_member(name)
+            nodes["r2"].remove_member(name)
+        nodes["r0"].propose("shrunk")
+        sim.run_until(0.3)
+        assert applied["r0"] == ["shrunk"]

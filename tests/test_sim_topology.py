@@ -1,0 +1,158 @@
+"""Tests for the topology builders and the Table 1 latency matrix."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.latencies import (
+    EC2_LATENCIES_MS,
+    EC2_REGIONS,
+    latency_ms,
+    latency_s,
+    max_pairwise_latency_ms,
+    regions_for_count,
+)
+from repro.sim.topology import build_multi_datacenter, build_single_datacenter
+
+
+class TestSingleDatacenter:
+    def test_node_counts_match_paper_configurations(self):
+        for nodes_per_rack, expected in ((3, 9), (5, 15), (7, 21), (9, 27)):
+            topo = build_single_datacenter(Simulator(), nodes_per_rack=nodes_per_rack)
+            assert len(topo.server_hosts) == expected
+
+    def test_three_racks_by_default(self):
+        topo = build_single_datacenter(Simulator(), nodes_per_rack=3)
+        assert len(topo.racks) == 3
+
+    def test_client_hosts_present_in_each_rack(self):
+        topo = build_single_datacenter(Simulator(), nodes_per_rack=3, clients_per_rack=5)
+        for rack in topo.racks:
+            assert len(rack.client_hosts) == 5
+
+    def test_rack_of_lookup(self):
+        topo = build_single_datacenter(Simulator(), nodes_per_rack=3)
+        host = topo.racks[1].server_hosts[0]
+        assert topo.rack_of(host).name == "rack-1"
+
+    def test_unknown_host_lookup_raises(self):
+        topo = build_single_datacenter(Simulator(), nodes_per_rack=3)
+        with pytest.raises(KeyError):
+            topo.rack_of("nope")
+
+    def test_servers_by_rack_groups_correctly(self):
+        topo = build_single_datacenter(Simulator(), nodes_per_rack=3)
+        groups = topo.servers_by_rack()
+        assert len(groups) == 3
+        assert all(len(members) == 3 for members in groups.values())
+
+    def test_oversubscription_grows_with_rack_size(self):
+        small = build_single_datacenter(Simulator(), nodes_per_rack=3)
+        large = build_single_datacenter(Simulator(), nodes_per_rack=9)
+        assert large.oversubscription() > small.oversubscription()
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            build_single_datacenter(Simulator(), nodes_per_rack=0)
+
+    def test_cross_rack_message_traverses_aggregation_switch(self):
+        sim = Simulator()
+        topo = build_single_datacenter(sim, nodes_per_rack=3)
+        src = topo.racks[0].server_hosts[0]
+        dst = topo.racks[2].server_hosts[0]
+        assert "agg-0" in topo.network.path(src, dst)
+
+    def test_intra_rack_message_does_not_traverse_aggregation(self):
+        sim = Simulator()
+        topo = build_single_datacenter(sim, nodes_per_rack=3)
+        src, dst = topo.racks[0].server_hosts[0], topo.racks[0].server_hosts[1]
+        assert "agg-0" not in topo.network.path(src, dst)
+
+
+class TestMultiDatacenter:
+    def test_datacenter_counts(self):
+        for count in (3, 5, 7):
+            topo = build_multi_datacenter(Simulator(), datacenter_count=count)
+            assert len(topo.datacenters) == count
+            assert len(topo.server_hosts) == count * 3
+
+    def test_regions_default_to_table1_prefix(self):
+        topo = build_multi_datacenter(Simulator(), datacenter_count=3)
+        assert [dc.region for dc in topo.datacenters] == ["IR", "CA", "VA"]
+
+    def test_explicit_region_list(self):
+        topo = build_multi_datacenter(Simulator(), datacenter_count=2, regions=["TK", "SY"])
+        assert [dc.region for dc in topo.datacenters] == ["TK", "SY"]
+
+    def test_region_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            build_multi_datacenter(Simulator(), datacenter_count=3, regions=["IR"])
+
+    def test_datacenter_of_lookup(self):
+        topo = build_multi_datacenter(Simulator(), datacenter_count=3)
+        host = topo.datacenters[2].server_hosts[0]
+        assert topo.datacenter_of(host).region == "VA"
+
+    def test_cross_dc_latency_reflects_table1(self):
+        sim = Simulator()
+        topo = build_multi_datacenter(sim, datacenter_count=2, regions=["IR", "SY"])
+        received = []
+        src = topo.datacenters[0].server_hosts[0]
+        dst = topo.datacenters[1].server_hosts[0]
+        topo.network.hosts[dst].set_handler(lambda s, p: received.append(sim.now))
+        topo.network.hosts[src].send(dst, "x", 16)
+        sim.run()
+        # One-way latency must be dominated by the 295 ms IR<->SY WAN link.
+        assert received[0] >= 0.295
+        assert received[0] < 0.4
+
+    def test_local_delivery_much_faster_than_wan(self):
+        sim = Simulator()
+        topo = build_multi_datacenter(sim, datacenter_count=2, regions=["IR", "CA"])
+        times = {}
+        dc0 = topo.datacenters[0]
+        local_dst = dc0.server_hosts[1]
+        remote_dst = topo.datacenters[1].server_hosts[0]
+        topo.network.hosts[local_dst].set_handler(lambda s, p: times.setdefault("local", sim.now))
+        topo.network.hosts[remote_dst].set_handler(lambda s, p: times.setdefault("remote", sim.now))
+        src = dc0.server_hosts[0]
+        topo.network.hosts[src].send(local_dst, "a", 16)
+        topo.network.hosts[src].send(remote_dst, "b", 16)
+        sim.run()
+        assert times["local"] < 0.01
+        assert times["remote"] > 0.1
+
+
+class TestTable1:
+    def test_matrix_is_symmetric(self):
+        for a in EC2_REGIONS:
+            for b in EC2_REGIONS:
+                assert EC2_LATENCIES_MS[a][b] == EC2_LATENCIES_MS[b][a]
+
+    def test_matrix_is_complete(self):
+        for a in EC2_REGIONS:
+            assert set(EC2_LATENCIES_MS[a].keys()) == set(EC2_REGIONS)
+
+    def test_paper_reported_values(self):
+        assert latency_ms("IR", "CA") == 133.0
+        assert latency_ms("SY", "FF") == 322.0
+        assert latency_ms("OR", "CA") == 20.0
+        assert latency_ms("TK", "TK") == 0.13
+
+    def test_latency_s_converts_to_seconds(self):
+        assert latency_s("IR", "CA") == pytest.approx(0.133)
+
+    def test_diagonal_is_sub_millisecond(self):
+        for region in EC2_REGIONS:
+            assert latency_ms(region, region) < 1.0
+
+    def test_regions_for_count_bounds(self):
+        assert regions_for_count(7) == EC2_REGIONS
+        assert regions_for_count(1) == ["IR"]
+        with pytest.raises(ValueError):
+            regions_for_count(8)
+        with pytest.raises(ValueError):
+            regions_for_count(0)
+
+    def test_max_pairwise_latency(self):
+        assert max_pairwise_latency_ms(["IR", "CA", "VA"]) == 133.0
+        assert max_pairwise_latency_ms(EC2_REGIONS) == 322.0
