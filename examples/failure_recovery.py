@@ -10,9 +10,9 @@ fails (§3, §6).  This example demonstrates all three behaviours.
 Run with:  python examples/failure_recovery.py
 """
 
-from repro.canopus.cluster import build_sim_cluster
 from repro.canopus.config import CanopusConfig
 from repro.canopus.messages import ClientRequest, RequestType
+from repro.protocols import build_protocol
 from repro.sim.engine import Simulator
 from repro.sim.topology import build_single_datacenter
 from repro.verify.agreement import check_agreement
@@ -37,8 +37,9 @@ def main() -> None:
         heartbeat_interval_s=0.02,
         fetch_timeout_s=0.2,
     )
-    cluster = build_sim_cluster(topology, config=config)
-    cluster.start()
+    protocol = build_protocol("canopus", topology, config=config)
+    cluster = protocol.cluster
+    protocol.start()
 
     print("Phase 1: healthy cluster commits a write")
     submit_write(cluster, "n0-0", "phase-1", "all nodes alive")
@@ -74,8 +75,9 @@ def main() -> None:
         if not nid.startswith("n2-")
     })
     print(f"  agreement still holds among live nodes: {ok}")
+    print(f"  protocol.is_healthy() now reports: {protocol.is_healthy()} (crashed replicas)")
 
-    cluster.stop()
+    protocol.stop()
 
 
 if __name__ == "__main__":

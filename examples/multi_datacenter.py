@@ -50,11 +50,11 @@ def main() -> None:
     print("\nDriving a 20%-write workload at 4000 requests/second ...")
     canopus = run_rate_point(
         "canopus", topology_factory, rate_hz=4000, write_ratio=0.2,
-        profile=profile, canopus_config=canopus_config,
+        profile=profile, config=canopus_config,
     )
     epaxos = run_rate_point(
         "epaxos", topology_factory, rate_hz=4000, write_ratio=0.2,
-        profile=profile, epaxos_config=epaxos_config,
+        profile=profile, config=epaxos_config,
     )
 
     print(f"\n{'system':10s} {'goodput (req/s)':>16s} {'median (ms)':>12s} {'p95 (ms)':>10s}")

@@ -10,9 +10,9 @@ linearizing it against the concurrent writes (§5 of the paper).
 Run with:  python examples/quickstart.py
 """
 
-from repro.canopus.cluster import build_sim_cluster
 from repro.canopus.config import CanopusConfig
 from repro.canopus.messages import ClientRequest, RequestType
+from repro.protocols import build_protocol
 from repro.sim.engine import Simulator
 from repro.sim.topology import build_single_datacenter
 from repro.verify.agreement import check_agreement
@@ -23,11 +23,13 @@ def main() -> None:
     simulator = Simulator(seed=42)
     topology = build_single_datacenter(simulator, nodes_per_rack=3, racks=2)
 
-    # 2. Place a Canopus node on every server; racks become super-leaves.
+    # 2. Build Canopus through the protocol registry; any registered
+    #    protocol name ("epaxos", "zookeeper", "raft", ...) works here.
     replies = []
     config = CanopusConfig(broadcast_mode="raft", pipelining=False)
-    cluster = build_sim_cluster(topology, config=config, on_reply=replies.append)
-    cluster.start()
+    protocol = build_protocol("canopus", topology, config=config, on_reply=replies.append)
+    cluster = protocol.cluster
+    protocol.start()
 
     print("LOT overlay:", cluster.lot)
     for name, leaf in cluster.lot.super_leaves.items():
@@ -48,7 +50,7 @@ def main() -> None:
     simulator.run_until(1.0)
 
     # 5. Every node has committed the same totally ordered log.
-    orders = {node_id: node.committed_order() for node_id, node in cluster.nodes.items()}
+    orders = protocol.committed_logs()
     ok, message = check_agreement(orders)
     print(f"\nAgreement across {len(nodes)} nodes: {ok} ({message})")
     reference = nodes[0].committed_requests()
@@ -64,8 +66,10 @@ def main() -> None:
     print(f"\nRead account-3 from node {reply.server_id}: {reply.value!r} "
           f"(linearized at cycle {reply.committed_cycle})")
 
-    cluster.stop()
+    protocol.stop()
     print(f"\nWrite replies received: {sum(1 for r in replies if r.op is RequestType.WRITE)}")
+    print(f"Aggregate protocol stats: cycles={protocol.stats()['cycles_committed']}, "
+          f"messages={protocol.stats()['messages_sent']}")
     print("Done.")
 
 

@@ -23,11 +23,10 @@ def main() -> None:
     system = build_system(
         "zkcanopus",
         topology,
-        canopus_config=CanopusConfig(broadcast_mode="raft", pipelining=False),
+        config=CanopusConfig(broadcast_mode="raft", pipelining=False),
     )
     replies = []
-    for node in system.cluster.nodes.values():
-        node.on_reply = replies.append
+    system.protocol.set_on_reply(replies.append)
     system.start()
 
     nodes = list(system.cluster.nodes.values())

@@ -9,15 +9,22 @@ the paper compares against (EPaxos and ZooKeeper/Zab), and the workload /
 measurement / experiment harness that regenerates every table and figure of
 the paper's evaluation.
 
+All protocols are exposed through a unified abstraction layer
+(:mod:`repro.protocols`): a :class:`~repro.protocols.ConsensusProtocol`
+contract plus a string-keyed registry, so systems are built with
+``build_protocol("canopus", topology)`` and adding a protocol is a
+one-file change (see ``ARCHITECTURE.md``).
+
 See ``examples/quickstart.py`` for a complete runnable example and
 ``DESIGN.md`` / ``EXPERIMENTS.md`` for the system inventory and the
 paper-vs-measured record.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro.canopus import CanopusCluster, CanopusConfig, CanopusNode
 from repro.canopus.messages import ClientReply, ClientRequest, RequestType
+from repro.protocols import ConsensusProtocol, build_protocol, registered_protocols
 
 __all__ = [
     "__version__",
@@ -27,4 +34,7 @@ __all__ = [
     "ClientRequest",
     "ClientReply",
     "RequestType",
+    "ConsensusProtocol",
+    "build_protocol",
+    "registered_protocols",
 ]

@@ -1,15 +1,11 @@
 """Builders that assemble a complete system-under-test on a simulated topology.
 
-A *system under test* bundles the topology, the protocol cluster placed on
-its server hosts, and the replicated state machine the protocol drives.
-Four systems are supported, matching the paper's comparisons:
-
-========== =============================================================
-canopus     Canopus over its own in-node replica (Figures 4, 6, 7)
-epaxos      EPaxos with configurable batching (Figures 4, 6, 7)
-zookeeper   ZooKeeper: Zab leader + 5 followers + observers (Figure 5)
-zkcanopus   ZooKeeper's znode store replicated by Canopus (Figure 5)
-========== =============================================================
+A *system under test* bundles the topology, the protocol deployed on its
+server hosts (built through the :mod:`repro.protocols` registry), and the
+replicated state machine the protocol drives.  The registered systems match
+the paper's comparisons — ``canopus``, ``zkcanopus``, ``epaxos``,
+``zookeeper`` — plus any protocol registered afterwards (``raft`` ships as
+the template); :func:`build_system` itself contains no per-protocol logic.
 
 Because the substrate is a simulator rather than the paper's 10 GbE
 cluster, the default CPU/bandwidth model is *scaled*: per-message costs are
@@ -21,19 +17,24 @@ systems, which preserves the relative comparisons the paper makes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
-from repro.canopus.cluster import CanopusCluster, build_sim_cluster
-from repro.canopus.config import CanopusConfig
-from repro.canopus.messages import ClientRequest
-from repro.epaxos.node import EPaxosCluster, EPaxosConfig, build_epaxos_sim_cluster
-from repro.kvstore.store import KVStore
+from repro.canopus.messages import ClientReply
+from repro.protocols import ConsensusProtocol, build_protocol
 from repro.sim.engine import Simulator
 from repro.sim.network import CpuModel
 from repro.sim.topology import Topology, build_multi_datacenter, build_single_datacenter
-from repro.zab.node import ZabCluster, ZabConfig, build_zab_sim_cluster
 
-__all__ = ["SystemUnderTest", "build_system", "scaled_cpu_model", "SCALED_HOST_BPS", "SCALED_UPLINK_BPS", "SCALED_WAN_BPS"]
+__all__ = [
+    "SystemUnderTest",
+    "build_system",
+    "make_single_dc_topology",
+    "make_multi_dc_topology",
+    "scaled_cpu_model",
+    "SCALED_HOST_BPS",
+    "SCALED_UPLINK_BPS",
+    "SCALED_WAN_BPS",
+]
 
 #: Scaled link speeds (see module docstring).  The 2:1 uplink:host ratio of
 #: the paper's topology (2x10G uplink vs 10G hosts) is preserved.
@@ -49,22 +50,27 @@ def scaled_cpu_model() -> CpuModel:
 
 @dataclass
 class SystemUnderTest:
-    """A protocol cluster placed on a topology, ready to receive clients."""
+    """A protocol deployed on a topology, ready to receive clients."""
 
     name: str
     topology: Topology
     simulator: Simulator
-    cluster: object
-    stores: Dict[str, KVStore] = field(default_factory=dict)
+    protocol: ConsensusProtocol
+    stores: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def cluster(self) -> Any:
+        """The protocol's underlying cluster (node-level access)."""
+        return self.protocol.cluster
 
     def start(self) -> None:
-        self.cluster.start()
+        self.protocol.start()
 
     def stop(self) -> None:
-        self.cluster.stop()
+        self.protocol.stop()
 
     def server_ids(self) -> List[str]:
-        return list(self.cluster.nodes.keys())
+        return self.protocol.node_ids()
 
 
 # ----------------------------------------------------------------------
@@ -96,59 +102,34 @@ def make_multi_dc_topology(simulator: Simulator, datacenters: int, nodes_per_dc:
 
 
 # ----------------------------------------------------------------------
-# System builders
+# System builder
 # ----------------------------------------------------------------------
-def _attach_kvstores(node_ids: List[str]) -> Dict[str, KVStore]:
-    return {node_id: KVStore() for node_id in node_ids}
-
-
 def build_system(
     name: str,
     topology: Topology,
-    canopus_config: Optional[CanopusConfig] = None,
-    epaxos_config: Optional[EPaxosConfig] = None,
-    zab_config: Optional[ZabConfig] = None,
+    config: Any = None,
+    on_reply: Optional[Callable[[ClientReply], None]] = None,
+    canopus_config: Any = None,
+    epaxos_config: Any = None,
+    zab_config: Any = None,
 ) -> SystemUnderTest:
-    """Build the named system on ``topology``."""
-    simulator = topology.simulator
-    if name == "canopus":
-        config = canopus_config or CanopusConfig()
-        cluster = build_sim_cluster(topology, config=config)
-        return SystemUnderTest(name=name, topology=topology, simulator=simulator, cluster=cluster)
+    """Build the named system on ``topology`` through the protocol registry.
 
-    if name == "zkcanopus":
-        config = canopus_config or CanopusConfig()
-        stores = _attach_kvstores(topology.server_hosts)
-
-        def write_factory(node_id: str) -> Callable[[ClientRequest], Optional[str]]:
-            store = stores[node_id]
-            return lambda request: store.write(request.key, request.value or "")
-
-        def read_factory(node_id: str) -> Callable[[ClientRequest], Optional[str]]:
-            store = stores[node_id]
-            return lambda request: store.read(request.key)
-
-        cluster = build_sim_cluster(
-            topology,
-            config=config,
-            apply_write_factory=write_factory,
-            apply_read_factory=read_factory,
-        )
-        return SystemUnderTest(
-            name=name, topology=topology, simulator=simulator, cluster=cluster, stores=stores
-        )
-
-    if name == "epaxos":
-        config = epaxos_config or EPaxosConfig()
-        cluster = build_epaxos_sim_cluster(topology, config=config)
-        return SystemUnderTest(name=name, topology=topology, simulator=simulator, cluster=cluster)
-
-    if name == "zookeeper":
-        config = zab_config or ZabConfig()
-        cluster = build_zab_sim_cluster(topology, config=config)
-        stores = {node_id: node.store for node_id, node in cluster.nodes.items()}
-        return SystemUnderTest(
-            name=name, topology=topology, simulator=simulator, cluster=cluster, stores=stores
-        )
-
-    raise ValueError(f"unknown system {name!r}; expected canopus, zkcanopus, epaxos or zookeeper")
+    ``config`` is the protocol's own configuration object.  The historical
+    per-protocol keyword arguments are accepted for compatibility; exactly
+    one configuration may be supplied and the registry validates its type
+    against the protocol being built.
+    """
+    supplied = [c for c in (config, canopus_config, epaxos_config, zab_config) if c is not None]
+    if len(supplied) > 1:
+        raise ValueError("supply at most one protocol configuration")
+    protocol = build_protocol(
+        name, topology, config=supplied[0] if supplied else None, on_reply=on_reply
+    )
+    return SystemUnderTest(
+        name=name,
+        topology=topology,
+        simulator=topology.simulator,
+        protocol=protocol,
+        stores=protocol.stores,
+    )

@@ -85,7 +85,7 @@ def figure4a_single_dc_throughput(
                 topology_factory,
                 write_ratio=write_ratio,
                 profile=profile,
-                canopus_config=_canopus_single_dc_config(),
+                config=_canopus_single_dc_config(),
             )
             results.append(_row("canopus", node_count, write_ratio, best, extra={"batch_ms": "-"}))
         for batch_ms in (5.0, 2.0):
@@ -94,7 +94,7 @@ def figure4a_single_dc_throughput(
                 topology_factory,
                 write_ratio=0.2,
                 profile=profile,
-                epaxos_config=_epaxos_config(batch_ms),
+                config=_epaxos_config(batch_ms),
             )
             results.append(_row(f"epaxos-{batch_ms:g}ms", node_count, 0.2, best, extra={"batch_ms": batch_ms}))
     return results
@@ -114,14 +114,13 @@ def figure4b_single_dc_completion_time(
         nodes_per_rack = node_count // 3
         topology_factory = partial(make_single_dc_topology, nodes_per_rack=nodes_per_rack)
         configs = [
-            ("canopus", 0.2, {"canopus_config": _canopus_single_dc_config()}),
-            ("epaxos-5ms", 0.2, {"epaxos_config": _epaxos_config(5.0)}),
-            ("epaxos-2ms", 0.2, {"epaxos_config": _epaxos_config(2.0)}),
+            ("canopus", "canopus", 0.2, _canopus_single_dc_config()),
+            ("epaxos-5ms", "epaxos", 0.2, _epaxos_config(5.0)),
+            ("epaxos-2ms", "epaxos", 0.2, _epaxos_config(2.0)),
         ]
-        for label, write_ratio, kwargs in configs:
-            system = "canopus" if label == "canopus" else "epaxos"
+        for label, system, write_ratio, config in configs:
             best, _ = find_max_throughput(
-                system, topology_factory, write_ratio=write_ratio, profile=profile, **kwargs
+                system, topology_factory, write_ratio=write_ratio, profile=profile, config=config
             )
             operating_rate = max(best.aggregate_rate_hz * 0.7, profile.rate_ladder[0])
             point = run_rate_point(
@@ -130,7 +129,7 @@ def figure4b_single_dc_completion_time(
                 rate_hz=operating_rate,
                 write_ratio=write_ratio,
                 profile=profile,
-                **kwargs,
+                config=config,
             )
             results.append(
                 _row(label, node_count, write_ratio, point, extra={"operating_rate_hz": operating_rate})
@@ -152,12 +151,12 @@ def figure5_zookeeper_comparison(
     for node_count in node_counts:
         nodes_per_rack = node_count // 3
         topology_factory = partial(make_single_dc_topology, nodes_per_rack=nodes_per_rack)
-        for system, kwargs in (
-            ("zkcanopus", {"canopus_config": _canopus_single_dc_config()}),
-            ("zookeeper", {"zab_config": ZabConfig(follower_count=5)}),
+        for system, config in (
+            ("zkcanopus", _canopus_single_dc_config()),
+            ("zookeeper", ZabConfig(follower_count=5)),
         ):
             _, points = find_max_throughput(
-                system, topology_factory, write_ratio=write_ratio, profile=profile, **kwargs
+                system, topology_factory, write_ratio=write_ratio, profile=profile, config=config
             )
             for point in points:
                 results.append(_row(system, node_count, write_ratio, point))
@@ -177,12 +176,12 @@ def figure6_multi_dc(
     results: List[Dict[str, object]] = []
     for dc_count in datacenter_counts:
         topology_factory = partial(make_multi_dc_topology, datacenters=dc_count)
-        for system, kwargs in (
-            ("canopus", {"canopus_config": _canopus_multi_dc_config()}),
-            ("epaxos", {"epaxos_config": _epaxos_config(5.0)}),
+        for system, config in (
+            ("canopus", _canopus_multi_dc_config()),
+            ("epaxos", _epaxos_config(5.0)),
         ):
             best, points = find_max_throughput(
-                system, topology_factory, write_ratio=write_ratio, profile=profile, **kwargs
+                system, topology_factory, write_ratio=write_ratio, profile=profile, config=config
             )
             row = _row(system, dc_count * 3, write_ratio, best, extra={"datacenters": dc_count})
             results.append(row)
@@ -206,7 +205,7 @@ def figure7_write_ratio(
             topology_factory,
             write_ratio=write_ratio,
             profile=profile,
-            canopus_config=_canopus_multi_dc_config(),
+            config=_canopus_multi_dc_config(),
         )
         results.append(_row("canopus", 9, write_ratio, best, extra={"datacenters": 3}))
     best, _ = find_max_throughput(
@@ -214,7 +213,7 @@ def figure7_write_ratio(
         topology_factory,
         write_ratio=0.2,
         profile=profile,
-        epaxos_config=_epaxos_config(5.0),
+        config=_epaxos_config(5.0),
     )
     results.append(_row("epaxos", 9, 0.2, best, extra={"datacenters": 3}))
     return results
@@ -253,7 +252,7 @@ def storage_sensitivity(
             topology_factory,
             write_ratio=write_ratio,
             profile=profile,
-            zab_config=ZabConfig(follower_count=5, storage=device),
+            config=ZabConfig(follower_count=5, storage=device),
         )
         results.append(_row(f"zookeeper-{device.value}", node_count, write_ratio, best))
     return results
@@ -276,7 +275,7 @@ def ablation_lot_shape(
         config = _canopus_single_dc_config()
         config.lot_height = height
         best, _ = find_max_throughput(
-            "canopus", topology_factory, write_ratio=write_ratio, profile=profile, canopus_config=config
+            "canopus", topology_factory, write_ratio=write_ratio, profile=profile, config=config
         )
         results.append(_row(f"canopus-h{height}", node_count, write_ratio, best, extra={"lot_height": height}))
     return results
@@ -302,7 +301,7 @@ def ablation_read_leases(
             rate_hz=rate,
             write_ratio=write_ratio,
             profile=profile,
-            canopus_config=config,
+            config=config,
         )
         label = "canopus-leases" if leases else "canopus-delayed-reads"
         results.append(

@@ -16,15 +16,12 @@ The runner follows the paper's methodology (§8.1 "Performance metrics"):
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.builders import SystemUnderTest, build_system, make_multi_dc_topology, make_single_dc_topology
-from repro.canopus.config import CanopusConfig
-from repro.epaxos.node import EPaxosConfig
 from repro.metrics.collector import RunSummary
 from repro.sim.engine import Simulator
 from repro.workload.generator import WorkloadConfig, WorkloadGenerator
-from repro.zab.node import ZabConfig
 
 __all__ = ["ExperimentProfile", "RatePointResult", "run_rate_point", "find_max_throughput"]
 
@@ -131,18 +128,26 @@ def run_rate_point(
     rate_hz: float,
     write_ratio: float,
     profile: Optional[ExperimentProfile] = None,
-    canopus_config: Optional[CanopusConfig] = None,
-    epaxos_config: Optional[EPaxosConfig] = None,
-    zab_config: Optional[ZabConfig] = None,
+    config: Any = None,
+    canopus_config: Any = None,
+    epaxos_config: Any = None,
+    zab_config: Any = None,
     multi_dc: bool = False,
 ) -> RatePointResult:
-    """Build a fresh simulator + system + workload and measure one rate point."""
+    """Build a fresh simulator + system + workload and measure one rate point.
+
+    ``config`` is the protocol's own configuration object; the historical
+    per-protocol keyword arguments are still accepted and forwarded to
+    :func:`repro.bench.builders.build_system`, which validates them against
+    the registry.
+    """
     profile = profile or ExperimentProfile.quick()
     simulator = Simulator(seed=profile.seed)
     topology = topology_factory(simulator)
     sut = build_system(
         system,
         topology,
+        config=config,
         canopus_config=canopus_config,
         epaxos_config=epaxos_config,
         zab_config=zab_config,
@@ -182,9 +187,10 @@ def find_max_throughput(
     topology_factory: TopologyFactory,
     write_ratio: float,
     profile: Optional[ExperimentProfile] = None,
-    canopus_config: Optional[CanopusConfig] = None,
-    epaxos_config: Optional[EPaxosConfig] = None,
-    zab_config: Optional[ZabConfig] = None,
+    config: Any = None,
+    canopus_config: Any = None,
+    epaxos_config: Any = None,
+    zab_config: Any = None,
 ) -> Tuple[RatePointResult, List[RatePointResult]]:
     """Walk the rate ladder until the latency threshold is exceeded.
 
@@ -202,6 +208,7 @@ def find_max_throughput(
             rate_hz=rate,
             write_ratio=write_ratio,
             profile=profile,
+            config=config,
             canopus_config=canopus_config,
             epaxos_config=epaxos_config,
             zab_config=zab_config,

@@ -44,6 +44,7 @@ class ReliableBroadcast(abc.ABC):
         deliver: Callable[[str, Any], None],
     ) -> None:
         self.runtime = runtime
+        self.transport = runtime.transport
         self.node_id = runtime.node_id
         self.peers: List[str] = [p for p in peers if p != runtime.node_id]
         self.deliver = deliver

@@ -22,7 +22,7 @@ class IdealBroadcast(ReliableBroadcast):
         envelope = self.next_envelope(payload)
         self.broadcasts_sent += 1
         for peer in self.peers:
-            self.runtime.send(peer, envelope, envelope.wire_size())
+            self.transport.send(peer, envelope, envelope.wire_size())
         # Deliver locally right away: the sender trivially has the payload.
         self._local_deliver(self.node_id, payload)
 

@@ -85,7 +85,7 @@ class RaftBroadcast(ReliableBroadcast):
             leader = own_group.leader_id or self.node_id
             if leader != self.node_id and leader in self.peers:
                 # Fall back to delivering via the current leader of our group.
-                self.runtime.send(leader, _ForwardedBroadcast(self._group_id(self.node_id), payload))
+                self.transport.send(leader, _ForwardedBroadcast(self._group_id(self.node_id), payload))
                 return
         own_group.propose(payload)
 

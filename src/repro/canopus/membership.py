@@ -68,6 +68,7 @@ class FailureDetector:
         on_failure: Callable[[str], None],
     ) -> None:
         self.runtime = runtime
+        self.transport = runtime.transport
         self.peers = list(peers)
         self.heartbeat_interval_s = heartbeat_interval_s
         self.failure_timeout_s = failure_timeout_s
@@ -96,7 +97,7 @@ class FailureDetector:
         beat = Heartbeat(sender=self.runtime.node_id, sent_at=self.runtime.now())
         for peer in self.peers:
             if peer not in self._suspected:
-                self.runtime.send(peer, beat, beat.wire_size())
+                self.transport.send(peer, beat, beat.wire_size())
 
     def _check_peers(self) -> None:
         now = self.runtime.now()

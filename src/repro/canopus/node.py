@@ -79,6 +79,7 @@ class CanopusNode:
         on_reply: Optional[Callable[[ClientReply], None]] = None,
     ) -> None:
         self.runtime = runtime
+        self.transport = runtime.transport
         self.node_id = runtime.node_id
         self.lot = lot
         self.config = config or CanopusConfig()
@@ -288,7 +289,7 @@ class CanopusNode:
         if self.on_reply is not None:
             self.on_reply(reply)
         if sender and sender != self.node_id:
-            self.runtime.send(sender, reply, reply.wire_size())
+            self.transport.send(sender, reply, reply.wire_size())
 
     # ------------------------------------------------------------------
     # Default replica (plain dict) when no external state machine is wired.
@@ -438,7 +439,7 @@ class CanopusNode:
             membership_updates=vnode_state.membership_updates,
         )
         self.stats["proposal_requests_served"] += 1
-        self.runtime.send(requester, reply, reply.wire_size())
+        self.transport.send(requester, reply, reply.wire_size())
 
     def _serve_buffered_requests(self, state: CycleState, vnode_id: str) -> None:
         vnode_state = state.vnode_states.get(vnode_id)
@@ -566,7 +567,7 @@ class CanopusNode:
         self.stats["proposal_requests_sent"] += 1
         if attempt > 1:
             self.stats["fetch_retries"] += 1
-        self.runtime.send(emulator, request, request.wire_size())
+        self.transport.send(emulator, request, request.wire_size())
         timer = self.runtime.after(
             self.config.fetch_timeout_s, lambda: self._on_fetch_timeout(state, vnode_id)
         )
@@ -682,7 +683,7 @@ class CanopusNode:
         """Ask the live members of our super-leaf to re-admit this node."""
         request = JoinRequest(node_id=self.node_id, super_leaf=self.super_leaf.name)
         for peer in self.super_leaf.peers_of(self.node_id):
-            self.runtime.send(peer, request, request.wire_size())
+            self.transport.send(peer, request, request.wire_size())
 
     # ==================================================================
     # Introspection

@@ -99,6 +99,7 @@ class EPaxosNode:
         on_reply: Optional[Callable[[ClientReply], None]] = None,
     ) -> None:
         self.runtime = runtime
+        self.transport = runtime.transport
         self.node_id = runtime.node_id
         self.replicas = list(replicas)
         if self.node_id not in self.replicas:
@@ -216,7 +217,7 @@ class EPaxosNode:
         self._record_interference(instance_id, commands)
         message = PreAccept(instance=instance_id, commands=commands, seq=seq, deps=deps)
         for peer in self._quorum_peers(self.fast_quorum_size()):
-            self.runtime.send(peer, message, message.wire_size())
+            self.transport.send(peer, message, message.wire_size())
         if len(self.replicas) == 1:
             self._commit_instance(instance)
 
@@ -258,7 +259,7 @@ class EPaxosNode:
             self._on_commit(message)
         elif isinstance(message, _Probe):
             reply = _ProbeReply(sender=self.node_id, echoed_at=message.sent_at)
-            self.runtime.send(sender, reply, reply.wire_size())
+            self.transport.send(sender, reply, reply.wire_size())
         elif isinstance(message, _ProbeReply):
             rtt = self.runtime.now() - message.echoed_at
             previous = self.rtt_estimates.get(sender, rtt)
@@ -291,7 +292,7 @@ class EPaxosNode:
             deps=frozenset(local_deps),
             changed=changed,
         )
-        self.runtime.send(sender, reply, reply.wire_size())
+        self.transport.send(sender, reply, reply.wire_size())
 
     def _on_preaccept_ok(self, message: PreAcceptOK) -> None:
         instance = self.instances.get(message.instance)
@@ -320,7 +321,7 @@ class EPaxosNode:
                 instance=instance.instance, commands=instance.commands, seq=seq, deps=instance.deps
             )
             for peer in self._quorum_peers(self.slow_quorum_size()):
-                self.runtime.send(peer, message_out, message_out.wire_size())
+                self.transport.send(peer, message_out, message_out.wire_size())
 
     def _on_accept(self, sender: str, message: Accept) -> None:
         instance = self.instances.get(message.instance)
@@ -337,7 +338,7 @@ class EPaxosNode:
         instance.deps = message.deps
         instance.status = "accepted"
         reply = AcceptOK(instance=message.instance, replica=self.node_id)
-        self.runtime.send(sender, reply, reply.wire_size())
+        self.transport.send(sender, reply, reply.wire_size())
 
     def _on_accept_ok(self, message: AcceptOK) -> None:
         instance = self.instances.get(message.instance)
@@ -361,7 +362,7 @@ class EPaxosNode:
             deps=instance.deps,
         )
         for peer in self.peers():
-            self.runtime.send(peer, commit, commit.wire_size())
+            self.transport.send(peer, commit, commit.wire_size())
         self._execute(instance, reply_to_clients=True)
 
     def _on_commit(self, message: Commit) -> None:
@@ -402,7 +403,7 @@ class EPaxosNode:
                 if self.on_reply is not None:
                     self.on_reply(reply)
                 if sender is not None and sender != self.node_id:
-                    self.runtime.send(sender, reply, reply.wire_size())
+                    self.transport.send(sender, reply, reply.wire_size())
 
     # ------------------------------------------------------------------
     def _default_apply(self, command: ClientRequest) -> Optional[str]:
@@ -416,7 +417,7 @@ class EPaxosNode:
             return
         probe = _Probe(sender=self.node_id, sent_at=self.runtime.now())
         for peer in self.peers():
-            self.runtime.send(peer, probe, probe.wire_size())
+            self.transport.send(peer, probe, probe.wire_size())
 
     def executed_commands(self) -> List[int]:
         """Request ids of executed commands (order is per-replica arrival)."""

@@ -1,0 +1,49 @@
+"""Unified protocol abstraction layer.
+
+Importing this package registers every built-in protocol:
+
+========== ============================================================
+canopus     Canopus over its own in-node replica (Figures 4, 6, 7)
+zkcanopus   ZooKeeper's znode store replicated by Canopus (Figure 5)
+epaxos      EPaxos with configurable batching (Figures 4, 6, 7)
+zookeeper   ZooKeeper: Zab leader + followers + observers (Figure 5)
+raft        Raft-replicated KV store (the one-file-addition template)
+========== ============================================================
+
+Build one with::
+
+    from repro.protocols import build_protocol
+    protocol = build_protocol("canopus", topology)
+    protocol.start()
+
+See ``ARCHITECTURE.md`` at the repository root for how to register a new
+protocol.
+"""
+
+from repro.protocols.base import ConsensusProtocol
+from repro.protocols.registry import (
+    ProtocolSpec,
+    build_protocol,
+    default_config,
+    protocol_spec,
+    register_protocol,
+    registered_protocols,
+    unregister_protocol,
+)
+
+# Importing the adapter modules registers the built-in protocols.
+from repro.protocols import canopus as _canopus  # noqa: F401  (registration side effect)
+from repro.protocols import epaxos as _epaxos  # noqa: F401
+from repro.protocols import zookeeper as _zookeeper  # noqa: F401
+from repro.protocols import raft_kv as _raft_kv  # noqa: F401
+
+__all__ = [
+    "ConsensusProtocol",
+    "ProtocolSpec",
+    "build_protocol",
+    "default_config",
+    "protocol_spec",
+    "register_protocol",
+    "registered_protocols",
+    "unregister_protocol",
+]

@@ -1,0 +1,119 @@
+"""The protocol-agnostic contract every consensus implementation satisfies.
+
+The Canopus paper is a *comparative* study, so the repository's value grows
+with the number of protocols it can place on the same topology and drive
+with the same workload.  :class:`ConsensusProtocol` is that shared contract:
+
+* lifecycle — :meth:`ConsensusProtocol.start` / :meth:`ConsensusProtocol.stop`,
+* client intake — :meth:`ConsensusProtocol.submit`; replies flow back
+  through each node's ``on_reply`` callback and over the network to the
+  submitting client host,
+* introspection — :meth:`ConsensusProtocol.stats`,
+  :meth:`ConsensusProtocol.committed_log` and
+  :meth:`ConsensusProtocol.is_healthy`.
+
+Concrete protocols are thin adapters wrapping the existing node/cluster
+implementations (:mod:`repro.canopus`, :mod:`repro.epaxos`,
+:mod:`repro.zab`, :mod:`repro.raft`); the benchmark harness, workload
+generator and examples only ever see this interface plus the registry in
+:mod:`repro.protocols.registry`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.canopus.messages import ClientReply, ClientRequest
+from repro.sim.topology import Topology
+
+__all__ = ["ConsensusProtocol"]
+
+
+class ConsensusProtocol(abc.ABC):
+    """One consensus protocol deployed on the server hosts of a topology.
+
+    Adapters wrap a *cluster* object exposing ``nodes`` (a mapping from
+    node id to protocol node), ``start()`` and ``stop()`` — which all four
+    existing cluster classes already do — and add the introspection the
+    harness and the conformance suite rely on.
+    """
+
+    #: Registry key of the protocol (set by subclasses).
+    name: str = "abstract"
+
+    def __init__(self, topology: Topology, cluster: Any, stores: Optional[Dict[str, Any]] = None) -> None:
+        self.topology = topology
+        self.cluster = cluster
+        #: Per-node replicated state machines, when the protocol exposes them.
+        self.stores: Dict[str, Any] = stores or {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.cluster.start()
+
+    def stop(self) -> None:
+        self.cluster.stop()
+
+    # ------------------------------------------------------------------
+    # Client intake
+    # ------------------------------------------------------------------
+    def submit(self, request: ClientRequest, node_id: Optional[str] = None) -> None:
+        """Submit ``request`` to ``node_id`` (default: the first node)."""
+        target = node_id if node_id is not None else self.node_ids()[0]
+        self.node(target).submit(request)
+
+    def set_on_reply(self, callback: Optional[Callable[[ClientReply], None]]) -> None:
+        """Attach a reply sink on every node (tests and examples)."""
+        for node in self.nodes.values():
+            node.on_reply = callback
+
+    # ------------------------------------------------------------------
+    # Topology of the deployment
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> Dict[str, Any]:
+        return self.cluster.nodes
+
+    def node(self, node_id: str) -> Any:
+        return self.cluster.nodes[node_id]
+
+    def node_ids(self) -> List[str]:
+        return list(self.cluster.nodes.keys())
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Aggregate per-node protocol counters plus transport traffic."""
+        totals: Dict[str, int] = {}
+        for node in self.nodes.values():
+            for key, value in getattr(node, "stats", {}).items():
+                totals[key] = totals.get(key, 0) + value
+            transport = getattr(getattr(node, "runtime", None), "transport", None)
+            if transport is not None:
+                totals["messages_sent"] = totals.get("messages_sent", 0) + transport.messages_sent
+                totals["bytes_sent"] = totals.get("bytes_sent", 0) + transport.bytes_sent
+        return totals
+
+    @abc.abstractmethod
+    def committed_log(self, node_id: str) -> List[int]:
+        """Request ids this replica has committed/executed, in commit order.
+
+        At quiescence every replica of a healthy deployment reports the
+        same log — that is the agreement property the conformance suite
+        checks across all registered protocols.
+        """
+
+    def committed_logs(self) -> Dict[str, List[int]]:
+        """Per-replica committed logs, for agreement checks."""
+        return {node_id: self.committed_log(node_id) for node_id in self.node_ids()}
+
+    def is_healthy(self) -> bool:
+        """True while every replica is alive (not crash-stopped)."""
+        return all(not getattr(node, "crashed", False) for node in self.nodes.values())
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} name={self.name!r} nodes={len(self.nodes)}>"

@@ -1,0 +1,81 @@
+"""Registry adapters for Canopus and ZKCanopus.
+
+``canopus`` runs the protocol over each node's in-node replica (the
+configuration of Figures 4, 6 and 7); ``zkcanopus`` attaches an external
+:class:`repro.kvstore.store.KVStore` per node as the replicated state
+machine, matching the ZooKeeper-on-Canopus system of Figure 5.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.canopus.cluster import CanopusCluster, build_sim_cluster
+from repro.canopus.config import CanopusConfig
+from repro.canopus.messages import ClientReply, ClientRequest
+from repro.kvstore.store import KVStore
+from repro.protocols.base import ConsensusProtocol
+from repro.protocols.registry import register_protocol
+from repro.sim.topology import Topology
+
+__all__ = ["CanopusProtocol"]
+
+
+class CanopusProtocol(ConsensusProtocol):
+    """Canopus cycles over the leaf-only tree; one node per server host."""
+
+    name = "canopus"
+
+    cluster: CanopusCluster
+
+    def committed_log(self, node_id: str) -> List[int]:
+        return self.node(node_id).committed_order()
+
+    def is_healthy(self) -> bool:
+        return super().is_healthy() and all(node.running for node in self.nodes.values())
+
+
+@register_protocol(
+    "canopus",
+    config_cls=CanopusConfig,
+    description="Canopus over its own in-node replica (Figures 4, 6, 7)",
+)
+def build_canopus(
+    topology: Topology,
+    config: Optional[CanopusConfig] = None,
+    on_reply: Optional[Callable[[ClientReply], None]] = None,
+) -> CanopusProtocol:
+    cluster = build_sim_cluster(topology, config=config or CanopusConfig(), on_reply=on_reply)
+    return CanopusProtocol(topology, cluster)
+
+
+@register_protocol(
+    "zkcanopus",
+    config_cls=CanopusConfig,
+    description="ZooKeeper's znode store replicated by Canopus (Figure 5)",
+)
+def build_zkcanopus(
+    topology: Topology,
+    config: Optional[CanopusConfig] = None,
+    on_reply: Optional[Callable[[ClientReply], None]] = None,
+) -> CanopusProtocol:
+    stores: Dict[str, KVStore] = {node_id: KVStore() for node_id in topology.server_hosts}
+
+    def write_factory(node_id: str) -> Callable[[ClientRequest], Optional[str]]:
+        store = stores[node_id]
+        return lambda request: store.write(request.key, request.value or "")
+
+    def read_factory(node_id: str) -> Callable[[ClientRequest], Optional[str]]:
+        store = stores[node_id]
+        return lambda request: store.read(request.key)
+
+    cluster = build_sim_cluster(
+        topology,
+        config=config or CanopusConfig(),
+        apply_write_factory=write_factory,
+        apply_read_factory=read_factory,
+        on_reply=on_reply,
+    )
+    protocol = CanopusProtocol(topology, cluster, stores=stores)
+    protocol.name = "zkcanopus"
+    return protocol

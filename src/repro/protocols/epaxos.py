@@ -1,0 +1,38 @@
+"""Registry adapter for EPaxos."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.canopus.messages import ClientReply
+from repro.epaxos.node import EPaxosCluster, EPaxosConfig, build_epaxos_sim_cluster
+from repro.protocols.base import ConsensusProtocol
+from repro.protocols.registry import register_protocol
+from repro.sim.topology import Topology
+
+__all__ = ["EPaxosProtocol"]
+
+
+class EPaxosProtocol(ConsensusProtocol):
+    """EPaxos with configurable batching; every replica is a command leader."""
+
+    name = "epaxos"
+
+    cluster: EPaxosCluster
+
+    def committed_log(self, node_id: str) -> List[int]:
+        return self.node(node_id).executed_commands()
+
+
+@register_protocol(
+    "epaxos",
+    config_cls=EPaxosConfig,
+    description="EPaxos with configurable batching (Figures 4, 6, 7)",
+)
+def build_epaxos(
+    topology: Topology,
+    config: Optional[EPaxosConfig] = None,
+    on_reply: Optional[Callable[[ClientReply], None]] = None,
+) -> EPaxosProtocol:
+    cluster = build_epaxos_sim_cluster(topology, config=config or EPaxosConfig(), on_reply=on_reply)
+    return EPaxosProtocol(topology, cluster)

@@ -1,0 +1,238 @@
+"""Raft-replicated key-value service — the registry's "fifth protocol".
+
+This module is the template for adding a protocol to the comparison: it is
+one self-contained file that (a) builds a client-facing node out of an
+existing state machine (:class:`repro.raft.node.RaftNode`, which Canopus
+already uses for its super-leaf broadcast), (b) wraps the nodes in a
+:class:`ConsensusProtocol` adapter, and (c) registers a factory under a
+string key.  Nothing in :mod:`repro.bench` or :mod:`repro.workload` knows
+it exists, yet ``build_protocol("raft", topology)`` and every experiment,
+conformance test and determinism check work against it unchanged.
+
+The service mirrors the paper's ZooKeeper configuration in spirit: a
+single Raft group spans every server host, the first host is the initial
+leader (no cold-start election), reads are answered from the local
+replica, and writes are forwarded to the leader, which replicates them
+through the Raft log.  Replies to forwarded writes are sent by the
+forwarding node once the entry commits locally, so clients talk only to
+their own server — the same intake pattern as the other four systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.canopus.messages import ClientReply, ClientRequest
+from repro.kvstore.store import KVStore
+from repro.protocols.base import ConsensusProtocol
+from repro.protocols.registry import register_protocol
+from repro.raft.log import LogEntry
+from repro.raft.node import RaftConfig, RaftNode
+from repro.runtime.base import Runtime
+from repro.runtime.sim_runtime import SimRuntime
+from repro.sim.topology import Topology
+
+__all__ = ["RaftKVConfig", "RaftKVNode", "RaftKVCluster", "RaftKVProtocol", "build_raft_kv"]
+
+_GROUP_ID = "raft-kv"
+
+
+@dataclass
+class RaftKVConfig:
+    """Tuning knobs of the Raft-replicated KV service."""
+
+    heartbeat_interval_s: float = 0.02
+    election_timeout_min_s: float = 0.15
+    election_timeout_max_s: float = 0.3
+
+
+@dataclass
+class _WriteForward:
+    """A write travelling from the intake node to the Raft leader."""
+
+    origin: str
+    request: ClientRequest
+    hops: int = 0
+
+    def wire_size(self) -> int:
+        return self.request.wire_size() + 24
+
+
+class RaftKVNode:
+    """One replica: a Raft group member plus ZooKeeper-style client intake."""
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        members: Sequence[str],
+        config: Optional[RaftKVConfig] = None,
+        on_reply: Optional[Callable[[ClientReply], None]] = None,
+    ) -> None:
+        self.runtime = runtime
+        self.transport = runtime.transport
+        self.node_id = runtime.node_id
+        self.members = list(members)
+        self.config = config or RaftKVConfig()
+        self.on_reply = on_reply
+
+        self.store = KVStore()
+        self.committed: List[ClientRequest] = []
+        self.request_senders: Dict[int, str] = {}
+        self.stats = {"reads_served": 0, "writes_committed": 0, "forwards_sent": 0}
+        self.crashed = False
+
+        self.raft = RaftNode(
+            runtime,
+            group_id=_GROUP_ID,
+            members=self.members,
+            apply=self._apply,
+            config=RaftConfig(
+                heartbeat_interval_s=self.config.heartbeat_interval_s,
+                election_timeout_min_s=self.config.election_timeout_min_s,
+                election_timeout_max_s=self.config.election_timeout_max_s,
+                initial_leader=self.members[0],
+            ),
+        )
+        runtime.set_handler(self.on_message)
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:  # symmetry with the other protocol nodes
+        return None
+
+    def stop(self) -> None:
+        self.raft.stop()
+
+    def crash(self) -> None:
+        self.crashed = True
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def submit(self, request: ClientRequest, sender: Optional[str] = None) -> None:
+        self._on_client_request(sender or self.node_id, request)
+
+    def on_message(self, sender: str, message: Any) -> None:
+        if self.crashed:
+            return
+        if isinstance(message, ClientRequest):
+            self._on_client_request(sender, message)
+        elif isinstance(message, _WriteForward):
+            if self.raft.is_leader:
+                self.raft.propose((message.origin, message.request))
+            elif message.hops < len(self.members):
+                # Leadership moved since the origin forwarded: chase the
+                # current view, bounded so stale views cannot loop forever.
+                message.hops += 1
+                leader = self.raft.leader_id or self.members[0]
+                if leader != self.node_id:
+                    self.transport.send(leader, message, message.wire_size())
+        elif self.raft.handles(message):
+            self.raft.on_message(sender, message)
+
+    def _on_client_request(self, sender: str, request: ClientRequest) -> None:
+        request.submitted_at = request.submitted_at or self.runtime.now()
+        if request.is_read():
+            value = self.store.read(request.key)
+            self.stats["reads_served"] += 1
+            self._reply(sender, request, value)
+            return
+        # Only writes wait for a commit, so only they need the sender map.
+        self.request_senders[request.request_id] = sender
+        if self.raft.is_leader:
+            self.raft.propose((self.node_id, request))
+        else:
+            leader = self.raft.leader_id or self.members[0]
+            forward = _WriteForward(origin=self.node_id, request=request)
+            self.stats["forwards_sent"] += 1
+            self.transport.send(leader, forward, forward.wire_size())
+
+    # ------------------------------------------------------------------
+    def _apply(self, entry: LogEntry) -> None:
+        origin, request = entry.command
+        self.store.write(request.key, request.value or "")
+        self.committed.append(request)
+        self.stats["writes_committed"] += 1
+        if origin == self.node_id:
+            sender = self.request_senders.pop(request.request_id, None)
+            if sender is not None:
+                self._reply(sender, request, request.value, committed_index=entry.index)
+
+    def _reply(
+        self,
+        sender: str,
+        request: ClientRequest,
+        value: Optional[str],
+        committed_index: int = 0,
+    ) -> None:
+        reply = ClientReply(
+            request_id=request.request_id,
+            client_id=request.client_id,
+            op=request.op,
+            key=request.key,
+            value=value,
+            committed_cycle=committed_index,
+            completed_at=self.runtime.now(),
+            server_id=self.node_id,
+        )
+        if self.on_reply is not None:
+            self.on_reply(reply)
+        if sender and sender != self.node_id:
+            self.transport.send(sender, reply, reply.wire_size())
+
+    def committed_order(self) -> List[int]:
+        return [request.request_id for request in self.committed]
+
+
+@dataclass
+class RaftKVCluster:
+    """One Raft group spanning every server host."""
+
+    nodes: Dict[str, RaftKVNode]
+    config: RaftKVConfig
+
+    def start(self) -> None:
+        for node in self.nodes.values():
+            node.start()
+
+    def stop(self) -> None:
+        for node in self.nodes.values():
+            node.stop()
+
+
+class RaftKVProtocol(ConsensusProtocol):
+    """Adapter exposing the Raft KV service through the shared contract."""
+
+    name = "raft"
+
+    cluster: RaftKVCluster
+
+    def committed_log(self, node_id: str) -> List[int]:
+        return self.node(node_id).committed_order()
+
+    def leader_id(self) -> str:
+        return self.cluster.nodes[next(iter(self.cluster.nodes))].members[0]
+
+
+@register_protocol(
+    "raft",
+    config_cls=RaftKVConfig,
+    description="Raft-replicated KV store (single group, local reads)",
+)
+def build_raft_kv(
+    topology: Topology,
+    config: Optional[RaftKVConfig] = None,
+    on_reply: Optional[Callable[[ClientReply], None]] = None,
+) -> RaftKVProtocol:
+    config = config or RaftKVConfig()
+    servers = topology.server_hosts
+    if not servers:
+        raise ValueError("topology has no server hosts")
+    nodes: Dict[str, RaftKVNode] = {}
+    for node_id in servers:
+        host = topology.network.hosts[node_id]
+        runtime = SimRuntime(topology.simulator, topology.network, host)
+        nodes[node_id] = RaftKVNode(runtime, servers, config=config, on_reply=on_reply)
+    cluster = RaftKVCluster(nodes=nodes, config=config)
+    protocol = RaftKVProtocol(topology, cluster)
+    protocol.stores = {node_id: node.store for node_id, node in nodes.items()}
+    return protocol

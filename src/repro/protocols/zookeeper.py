@@ -1,0 +1,42 @@
+"""Registry adapter for the ZooKeeper (Zab) ensemble."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.canopus.messages import ClientReply
+from repro.protocols.base import ConsensusProtocol
+from repro.protocols.registry import register_protocol
+from repro.sim.topology import Topology
+from repro.zab.node import ZabCluster, ZabConfig, build_zab_sim_cluster
+
+__all__ = ["ZooKeeperProtocol"]
+
+
+class ZooKeeperProtocol(ConsensusProtocol):
+    """Zab leader + voting followers + observers (the Figure 5 baseline)."""
+
+    name = "zookeeper"
+
+    cluster: ZabCluster
+
+    def committed_log(self, node_id: str) -> List[int]:
+        return [request.request_id for request in self.node(node_id).committed_requests]
+
+    def leader_id(self) -> str:
+        return self.cluster.leader_id
+
+
+@register_protocol(
+    "zookeeper",
+    config_cls=ZabConfig,
+    description="ZooKeeper: Zab leader + followers + observers (Figure 5)",
+)
+def build_zookeeper(
+    topology: Topology,
+    config: Optional[ZabConfig] = None,
+    on_reply: Optional[Callable[[ClientReply], None]] = None,
+) -> ZooKeeperProtocol:
+    cluster = build_zab_sim_cluster(topology, config=config or ZabConfig(), on_reply=on_reply)
+    stores = {node_id: node.store for node_id, node in cluster.nodes.items()}
+    return ZooKeeperProtocol(topology, cluster, stores=stores)

@@ -55,6 +55,7 @@ class RaftNode:
         config: Optional[RaftConfig] = None,
     ) -> None:
         self.runtime = runtime
+        self.transport = runtime.transport
         self.node_id = runtime.node_id
         self.group_id = group_id
         self.members: List[str] = list(members)
@@ -182,7 +183,7 @@ class RaftNode:
             last_log_term=self.log.last_term,
         )
         for peer in self.peers():
-            self.runtime.send(peer, request, request.wire_size())
+            self.transport.send(peer, request, request.wire_size())
 
     def _on_request_vote(self, message: RequestVote) -> None:
         if message.term > self.current_term:
@@ -203,7 +204,7 @@ class RaftNode:
             voter_id=self.node_id,
             vote_granted=grant,
         )
-        self.runtime.send(message.candidate_id, reply, reply.wire_size())
+        self.transport.send(message.candidate_id, reply, reply.wire_size())
 
     def _on_request_vote_reply(self, message: RequestVoteReply) -> None:
         if message.term > self.current_term:
@@ -265,7 +266,7 @@ class RaftNode:
             entries=entries,
             leader_commit=self.commit_index,
         )
-        self.runtime.send(peer, message, message.wire_size())
+        self.transport.send(peer, message, message.wire_size())
 
     def _on_append_entries(self, message: AppendEntries) -> None:
         if message.term > self.current_term:
@@ -291,7 +292,7 @@ class RaftNode:
             success=success,
             match_index=match_index,
         )
-        self.runtime.send(message.leader_id, reply, reply.wire_size())
+        self.transport.send(message.leader_id, reply, reply.wire_size())
 
     def _on_append_entries_reply(self, message: AppendEntriesReply) -> None:
         if message.term > self.current_term:

@@ -3,22 +3,47 @@
 A runtime provides four things:
 
 * a clock (:meth:`Runtime.now`),
-* message transmission (:meth:`Runtime.send`),
+* message transmission (through the :class:`Transport` facade),
 * one-shot timers (:meth:`Runtime.after`), and
 * a deterministic random stream (:attr:`Runtime.rng`).
 
 Protocol nodes register a message handler with :meth:`Runtime.set_handler`
 and from then on are purely reactive: every state transition happens inside
 a message delivery or a timer callback.
+
+All protocol egress goes through :attr:`Runtime.transport` rather than
+calling :meth:`Runtime.send` directly.  The facade gives every substrate
+(simulator, asyncio, a future kernel-bypass transport) one place to apply
+wire-size estimation, per-node traffic accounting, and batching — the
+simulated network coalesces same-destination deliveries into single
+scheduled events, and because every protocol routes through the same
+facade, that batching applies uniformly.
 """
 
 from __future__ import annotations
 
 import abc
 import random
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterable, Optional
 
-__all__ = ["Runtime", "Timer"]
+__all__ = ["Runtime", "Timer", "Transport", "estimate_size"]
+
+
+def estimate_size(message: Any) -> int:
+    """Best-effort estimate of a message's wire size in bytes.
+
+    Messages that care about their size (all protocol messages in this
+    repository) expose a ``wire_size()`` method; anything else is charged a
+    small fixed cost.
+    """
+    wire_size = getattr(message, "wire_size", None)
+    if callable(wire_size):
+        return int(wire_size())
+    if isinstance(message, (bytes, bytearray)):
+        return len(message)
+    if isinstance(message, str):
+        return len(message.encode("utf-8"))
+    return 64
 
 
 class Timer:
@@ -34,6 +59,41 @@ class Timer:
             self._cancel()
 
 
+class Transport:
+    """Uniform message-egress facade for one node.
+
+    Every protocol send funnels through here, which provides:
+
+    * wire-size resolution (explicit ``size_bytes`` or :func:`estimate_size`),
+    * per-node traffic counters independent of the substrate, and
+    * a single choke point for substrate-level batching — the simulated
+      network batches same-destination deliveries, so routing all sends
+      through the facade makes that optimization protocol-agnostic.
+    """
+
+    __slots__ = ("runtime", "messages_sent", "bytes_sent")
+
+    def __init__(self, runtime: "Runtime") -> None:
+        self.runtime = runtime
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    def send(self, dst: str, message: Any, size_bytes: Optional[int] = None) -> None:
+        """Send ``message`` to the node named ``dst``."""
+        size = size_bytes if size_bytes is not None else estimate_size(message)
+        self.messages_sent += 1
+        self.bytes_sent += size
+        self.runtime.send(dst, message, size)
+
+    def broadcast(self, destinations: Iterable[str], message: Any, size_bytes: Optional[int] = None) -> None:
+        """Send ``message`` to every destination except the owning node."""
+        size = size_bytes if size_bytes is not None else estimate_size(message)
+        node_id = self.runtime.node_id
+        for dst in destinations:
+            if dst != node_id:
+                self.send(dst, message, size)
+
+
 class Runtime(abc.ABC):
     """Abstract transport/scheduling environment for one protocol node."""
 
@@ -42,17 +102,26 @@ class Runtime(abc.ABC):
     #: Deterministic random stream private to this node.
     rng: random.Random
 
+    @property
+    def transport(self) -> Transport:
+        """The egress facade all protocol sends route through (lazily built)."""
+        facade = getattr(self, "_transport", None)
+        if facade is None:
+            facade = Transport(self)
+            self._transport = facade
+        return facade
+
     @abc.abstractmethod
     def now(self) -> float:
         """Current time in seconds (simulated or monotonic wall time)."""
 
     @abc.abstractmethod
     def send(self, dst: str, message: Any, size_bytes: Optional[int] = None) -> None:
-        """Send ``message`` to the node named ``dst``.
+        """Substrate-level send primitive; protocols use :attr:`transport`.
 
         ``size_bytes`` lets protocols report the wire size of a message for
         bandwidth accounting; when omitted, the runtime estimates it from
-        the message itself (see :func:`repro.canopus.messages.wire_size`).
+        the message itself (see :func:`estimate_size`).
         """
 
     @abc.abstractmethod
@@ -68,9 +137,7 @@ class Runtime(abc.ABC):
     # ------------------------------------------------------------------
     def broadcast(self, destinations: Any, message: Any, size_bytes: Optional[int] = None) -> None:
         """Send ``message`` to every destination (excluding self)."""
-        for dst in destinations:
-            if dst != self.node_id:
-                self.send(dst, message, size_bytes)
+        self.transport.broadcast(destinations, message, size_bytes)
 
     def periodic(self, interval: float, callback: Callable[[], None]) -> Timer:
         """Run ``callback`` every ``interval`` seconds until cancelled."""

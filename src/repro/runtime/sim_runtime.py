@@ -5,28 +5,11 @@ from __future__ import annotations
 import random
 from typing import Any, Callable, Optional
 
-from repro.runtime.base import Runtime, Timer
+from repro.runtime.base import Runtime, Timer, estimate_size
 from repro.sim.engine import Simulator
 from repro.sim.network import Host, Network
 
 __all__ = ["SimRuntime", "estimate_size"]
-
-
-def estimate_size(message: Any) -> int:
-    """Best-effort estimate of a message's wire size in bytes.
-
-    Messages that care about their size (all protocol messages in this
-    repository) expose a ``wire_size()`` method; anything else is charged a
-    small fixed cost.
-    """
-    wire_size = getattr(message, "wire_size", None)
-    if callable(wire_size):
-        return int(wire_size())
-    if isinstance(message, (bytes, bytearray)):
-        return len(message)
-    if isinstance(message, str):
-        return len(message.encode("utf-8"))
-    return 64
 
 
 class SimRuntime(Runtime):

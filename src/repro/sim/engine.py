@@ -18,6 +18,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import random
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
@@ -44,10 +45,14 @@ class Event:
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
     label: str = field(default="", compare=False)
+    loop: Optional["EventLoop"] = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the loop skips it when popped."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self.loop is not None:
+                self.loop._live -= 1
 
 
 class EventLoop:
@@ -64,6 +69,8 @@ class EventLoop:
         self._seq = itertools.count()
         self._running = False
         self._processed = 0
+        #: Number of non-cancelled events in the heap, so ``__len__`` is O(1).
+        self._live = 0
 
     # ------------------------------------------------------------------
     # Clock
@@ -79,7 +86,7 @@ class EventLoop:
         return self._processed
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        return self._live
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -108,8 +115,11 @@ class EventLoop:
         """Schedule ``callback`` at absolute simulated time ``when``."""
         if when < self._now:
             raise ValueError(f"cannot schedule at {when} before now={self._now}")
-        event = Event(time=when, priority=priority, seq=next(self._seq), callback=callback, label=label)
+        event = Event(
+            time=when, priority=priority, seq=next(self._seq), callback=callback, label=label, loop=self
+        )
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     # ------------------------------------------------------------------
@@ -125,6 +135,10 @@ class EventLoop:
                 raise SimulationError("event heap produced an event in the past")
             self._now = event.time
             self._processed += 1
+            self._live -= 1
+            # Mark the event consumed so a late cancel() (e.g. a timer
+            # callback cancelling its own timer) cannot decrement again.
+            event.cancelled = True
             event.callback()
             return True
         return False
@@ -208,6 +222,11 @@ class Simulator:
         return self.components[name]
 
     def fork_rng(self, label: str) -> random.Random:
-        """Derive an independent, deterministic RNG stream for ``label``."""
-        derived_seed = (self.seed * 1_000_003 + hash(label)) & 0x7FFFFFFF
+        """Derive an independent, deterministic RNG stream for ``label``.
+
+        The label is folded in with CRC-32 rather than builtin ``hash``:
+        string hashes are salted per process, so seeding from them would
+        silently make "deterministic" streams differ between runs.
+        """
+        derived_seed = (self.seed * 1_000_003 + zlib.crc32(label.encode("utf-8"))) & 0x7FFFFFFF
         return random.Random(derived_seed)

@@ -25,9 +25,18 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
-from repro.sim.engine import EventLoop, SimulationError
+from repro.sim.engine import Event, EventLoop, SimulationError
 
-__all__ = ["Packet", "Link", "NetworkInterface", "Host", "Switch", "Network", "CpuModel"]
+__all__ = [
+    "Packet",
+    "Link",
+    "NetworkInterface",
+    "Host",
+    "Switch",
+    "Network",
+    "CpuModel",
+    "DeliveryQueue",
+]
 
 #: Default per-message protocol framing overhead in bytes (headers etc.).
 DEFAULT_HEADER_BYTES = 64
@@ -72,6 +81,69 @@ class CpuModel:
         return self.send_fraction * self.service_time(packet)
 
 
+class DeliveryQueue:
+    """Coalesces a stream of timed deliveries into one scheduled event.
+
+    Links and host CPU queues hand over work whose completion times are
+    (by construction) non-decreasing: link serialization and CPU busy-until
+    both only move forward.  Instead of scheduling one event-loop entry per
+    packet — which makes the heap grow with the number of in-flight
+    messages — the queue keeps at most one outstanding event and, when it
+    fires, flushes *every* pending item that is due at that instant.  This
+    is the sim-network hot path batching: a burst to one destination costs
+    one heap operation, not one per message.
+
+    Items pushed out of order (possible only if a caller violates the
+    monotonicity contract) fall back to a dedicated event so delivery
+    timing is never wrong, merely unbatched.
+    """
+
+    __slots__ = ("loop", "deliver", "priority", "label", "_pending", "_event")
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        deliver: Callable[[Any], None],
+        priority: int,
+        label: str,
+    ) -> None:
+        self.loop = loop
+        self.deliver = deliver
+        self.priority = priority
+        self.label = label
+        self._pending: "deque[Tuple[float, Any]]" = deque()
+        self._event: Optional[Event] = None
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def push(self, when: float, item: Any) -> None:
+        """Enqueue ``item`` for delivery at absolute time ``when``."""
+        pending = self._pending
+        if pending and when < pending[-1][0]:
+            self.loop.schedule_at(
+                when, lambda: self.deliver(item), priority=self.priority, label=self.label
+            )
+            return
+        pending.append((when, item))
+        if self._event is None:
+            self._event = self.loop.schedule_at(
+                when, self._flush, priority=self.priority, label=self.label
+            )
+
+    def _flush(self) -> None:
+        self._event = None
+        pending = self._pending
+        now = self.loop.now
+        deliver = self.deliver
+        while pending and pending[0][0] <= now:
+            deliver(pending.popleft()[1])
+        if pending and self._event is None:
+            self._event = self.loop.schedule_at(
+                pending[0][0], self._flush, priority=self.priority, label=self.label
+            )
+
+
 class Link:
     """A unidirectional link with propagation delay, bandwidth and a FIFO queue."""
 
@@ -91,6 +163,7 @@ class Link:
         self._busy_until = 0.0
         self.bytes_sent = 0
         self.packets_sent = 0
+        self._arrivals = DeliveryQueue(loop, deliver, priority=5, label=f"link:{name}")
 
     def transmit(self, packet: Packet) -> float:
         """Enqueue ``packet`` and return its arrival time at the far end."""
@@ -102,7 +175,7 @@ class Link:
         arrival = finish + self.latency_s
         self.bytes_sent += packet.total_bytes()
         self.packets_sent += 1
-        self.loop.schedule_at(arrival, lambda: self._deliver(packet), priority=5, label=f"link:{self.name}")
+        self._arrivals.push(arrival, packet)
         return arrival
 
     @property
@@ -185,6 +258,9 @@ class Host(NetworkElement):
         self.rack: Optional[str] = None
         self.datacenter: Optional[str] = None
         self.failed = False
+        loop = network.loop
+        self._rx_queue = DeliveryQueue(loop, self._dispatch, priority=8, label=f"cpu:{name}")
+        self._tx_queue = DeliveryQueue(loop, self._inject, priority=9, label=f"send:{name}")
 
     # ------------------------------------------------------------------
     def set_handler(self, handler: Callable[[str, Any], None]) -> None:
@@ -205,12 +281,11 @@ class Host(NetworkElement):
         start = max(now, self._cpu_busy_until)
         finish = start + self.cpu.send_time(probe)
         self._cpu_busy_until = finish
-        self.network.loop.schedule_at(
-            finish,
-            lambda: self.network.send(self.name, dst, payload, size_bytes),
-            priority=9,
-            label=f"send:{self.name}",
-        )
+        self._tx_queue.push(finish, (dst, payload, size_bytes))
+
+    def _inject(self, pending_send: Tuple[str, Any, int]) -> None:
+        dst, payload, size_bytes = pending_send
+        self.network.send(self.name, dst, payload, size_bytes)
 
     # ------------------------------------------------------------------
     def receive(self, packet: Packet) -> None:
@@ -220,9 +295,7 @@ class Host(NetworkElement):
         start = max(now, self._cpu_busy_until)
         finish = start + self.cpu.service_time(packet)
         self._cpu_busy_until = finish
-        self.network.loop.schedule_at(
-            finish, lambda: self._dispatch(packet), priority=8, label=f"cpu:{self.name}"
-        )
+        self._rx_queue.push(finish, packet)
 
     def _dispatch(self, packet: Packet) -> None:
         if self.failed:
@@ -267,6 +340,7 @@ class Network:
         self._routes_dirty = True
         self.local_loopback_latency_s = 5e-6
         self.dropped_packets = 0
+        self._loopback_queues: Dict[str, DeliveryQueue] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -373,12 +447,12 @@ class Network:
             sent_at=self.loop.now,
         )
         if src == dst:
-            self.loop.schedule(
-                self.local_loopback_latency_s,
-                lambda: self.hosts[dst].receive(packet),
-                priority=5,
-                label="loopback",
-            )
+            queue = self._loopback_queues.get(dst)
+            if queue is None:
+                queue = self._loopback_queues[dst] = DeliveryQueue(
+                    self.loop, self.hosts[dst].receive, priority=5, label=f"loopback:{dst}"
+                )
+            queue.push(self.loop.now + self.local_loopback_latency_s, packet)
             return
         next_element = self.next_hop(src, dst)
         link = self.hosts[src].interface.links[next_element]

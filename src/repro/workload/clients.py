@@ -51,6 +51,7 @@ class ClientHostAgent:
         open_loop: bool = True,
     ) -> None:
         self.runtime = runtime
+        self.transport = runtime.transport
         self.processes = processes
         self.keyspace = keyspace
         self.collector = collector
@@ -99,7 +100,7 @@ class ClientHostAgent:
         process.outstanding += 1
         process.sent += 1
         self.collector.record_submit(request)
-        self.runtime.send(process.target_node, request, request.wire_size())
+        self.transport.send(process.target_node, request, request.wire_size())
 
     # ------------------------------------------------------------------
     def on_message(self, sender: str, message: object) -> None:

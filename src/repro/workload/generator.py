@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -87,7 +88,9 @@ class WorkloadGenerator:
                 processes=processes,
                 keyspace=keyspace,
                 collector=self.collector,
-                rng=random.Random(self.config.seed + hash(host_name) % 1000),
+                # crc32, not hash(): string hashes are salted per process and
+                # would make the "same seed" workload differ between runs.
+                rng=random.Random(self.config.seed + zlib.crc32(host_name.encode("utf-8")) % 1000),
                 open_loop=self.config.open_loop,
             )
             self.agents.append(agent)

@@ -78,6 +78,7 @@ class ZabNode:
         on_reply: Optional[Callable[[ClientReply], None]] = None,
     ) -> None:
         self.runtime = runtime
+        self.transport = runtime.transport
         self.node_id = runtime.node_id
         self.role = role
         self.leader_id = leader_id
@@ -139,13 +140,14 @@ class ZabNode:
         if self.crashed:
             return
         request.submitted_at = request.submitted_at or self.runtime.now()
-        self.request_senders[request.request_id] = sender
         if request.is_read():
             # ZooKeeper answers reads locally from the replica's state.
             value = self.store.read(request.key)
             self.stats["reads_served"] += 1
             self._reply(sender, request, value, self.last_committed_zxid)
             return
+        # Only writes wait for a commit, so only they enter the sender map.
+        self.request_senders[request.request_id] = sender
         self.outstanding.append(request)
         if self.config.batch_duration_s <= 0 or len(self.outstanding) >= self.config.max_batch_size:
             self._flush_writes()
@@ -164,7 +166,7 @@ class ZabNode:
         else:
             forward = WriteForward(origin=self.node_id, requests=tuple(batch))
             self.stats["forwards_sent"] += 1
-            self.runtime.send(self.leader_id, forward, forward.wire_size())
+            self.transport.send(self.leader_id, forward, forward.wire_size())
 
     # ------------------------------------------------------------------
     # Leader side
@@ -180,7 +182,7 @@ class ZabNode:
         self.stats["proposals_sent"] += 1
         for follower in self.followers:
             if follower != self.node_id:
-                self.runtime.send(follower, proposal, proposal.wire_size())
+                self.transport.send(follower, proposal, proposal.wire_size())
         if len(txn.acks) >= self.quorum_size():
             self._leader_commit(txn)
 
@@ -191,11 +193,11 @@ class ZabNode:
         commit = ZabCommit(zxid=txn.zxid)
         for follower in self.followers:
             if follower != self.node_id:
-                self.runtime.send(follower, commit, commit.wire_size())
+                self.transport.send(follower, commit, commit.wire_size())
         inform = ZabInform(zxid=txn.zxid, origin=txn.origin, requests=txn.requests)
         for observer in self.observers:
             if observer != self.node_id:
-                self.runtime.send(observer, inform, inform.wire_size())
+                self.transport.send(observer, inform, inform.wire_size())
         self._apply_committed(txn.zxid, txn.origin, txn.requests)
 
     # ------------------------------------------------------------------
@@ -225,7 +227,7 @@ class ZabNode:
         )
         self.log.append(self.runtime.now(), sum(r.wire_size() for r in message.requests))
         ack = ZabAck(zxid=message.zxid, follower=self.node_id)
-        self.runtime.send(sender, ack, ack.wire_size())
+        self.transport.send(sender, ack, ack.wire_size())
 
     def _on_ack(self, message: ZabAck) -> None:
         if not self.is_leader:
@@ -274,7 +276,7 @@ class ZabNode:
         if self.on_reply is not None:
             self.on_reply(reply)
         if sender and sender != self.node_id:
-            self.runtime.send(sender, reply, reply.wire_size())
+            self.transport.send(sender, reply, reply.wire_size())
 
 
 @dataclass

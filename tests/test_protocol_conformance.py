@@ -1,0 +1,164 @@
+"""Conformance suite: every registered protocol honours the shared contract.
+
+Parametrized over the protocol registry, so a newly registered protocol is
+automatically held to the same bar: a mixed read/write workload on a small
+topology must produce replies for every request, identical commit logs on
+every replica, and monotone, sensible stats.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.builders import make_single_dc_topology
+from repro.canopus.messages import ClientReply, ClientRequest, RequestType
+from repro.protocols import (
+    ConsensusProtocol,
+    build_protocol,
+    default_config,
+    protocol_spec,
+    register_protocol,
+    registered_protocols,
+    unregister_protocol,
+)
+from repro.sim.engine import Simulator
+
+ALL_PROTOCOLS = registered_protocols()
+
+
+def drive_mixed_workload(protocol, simulator, writes=8, reads=6):
+    """Submit writes then reads round-robin across nodes; run to quiescence."""
+    node_ids = protocol.node_ids()
+    requests = []
+    for index in range(writes):
+        request = ClientRequest(
+            client_id=f"w{index}",
+            op=RequestType.WRITE,
+            key=f"key-{index % 3}",
+            value=f"value-{index}",
+        )
+        protocol.submit(request, node_id=node_ids[index % len(node_ids)])
+        requests.append(request)
+        simulator.run_until(simulator.now + 0.03)
+    simulator.run_until(simulator.now + 1.0)
+    for index in range(reads):
+        request = ClientRequest(
+            client_id=f"r{index}", op=RequestType.READ, key=f"key-{index % 3}"
+        )
+        protocol.submit(request, node_id=node_ids[(index + 1) % len(node_ids)])
+        requests.append(request)
+        simulator.run_until(simulator.now + 0.03)
+    simulator.run_until(simulator.now + 2.0)
+    return requests
+
+
+@pytest.fixture(params=ALL_PROTOCOLS)
+def deployment(request):
+    simulator = Simulator(seed=13)
+    topology = make_single_dc_topology(simulator, nodes_per_rack=2, racks=2)
+    replies = []
+    protocol = build_protocol(request.param, topology, on_reply=replies.append)
+    protocol.start()
+    yield request.param, simulator, protocol, replies
+    protocol.stop()
+
+
+class TestConformance:
+    def test_is_a_consensus_protocol(self, deployment):
+        _, _, protocol, _ = deployment
+        assert isinstance(protocol, ConsensusProtocol)
+        assert len(protocol.node_ids()) == 4
+
+    def test_every_request_is_answered(self, deployment):
+        name, simulator, protocol, replies = deployment
+        requests = drive_mixed_workload(protocol, simulator)
+        answered = {reply.request_id for reply in replies}
+        missing = [r.request_id for r in requests if r.request_id not in answered]
+        assert not missing, f"{name}: {len(missing)} requests never answered"
+        assert all(isinstance(reply, ClientReply) for reply in replies)
+
+    def test_replicas_agree_on_the_commit_log(self, deployment):
+        name, simulator, protocol, _ = deployment
+        drive_mixed_workload(protocol, simulator)
+        logs = protocol.committed_logs()
+        assert len(logs) == 4
+        distinct = {tuple(log) for log in logs.values()}
+        assert len(distinct) == 1, f"{name}: replicas diverge: {logs}"
+        assert len(next(iter(distinct))) > 0, f"{name}: nothing committed"
+
+    def test_reads_see_committed_writes(self, deployment):
+        name, simulator, protocol, replies = deployment
+        node_ids = protocol.node_ids()
+        write = ClientRequest(client_id="w", op=RequestType.WRITE, key="shared", value="42")
+        protocol.submit(write, node_id=node_ids[0])
+        simulator.run_until(simulator.now + 2.0)
+        read = ClientRequest(client_id="r", op=RequestType.READ, key="shared")
+        protocol.submit(read, node_id=node_ids[-1])
+        simulator.run_until(simulator.now + 2.0)
+        reply = next((r for r in replies if r.request_id == read.request_id), None)
+        assert reply is not None, f"{name}: read never answered"
+        assert reply.value == "42", f"{name}: read returned {reply.value!r}"
+
+    def test_stats_are_monotone_and_nonnegative(self, deployment):
+        name, simulator, protocol, _ = deployment
+        before = protocol.stats()
+        assert all(value >= 0 for value in before.values())
+        drive_mixed_workload(protocol, simulator)
+        after = protocol.stats()
+        for key, value in before.items():
+            assert after.get(key, 0) >= value, f"{name}: stat {key} went backwards"
+        assert after.get("messages_sent", 0) > 0
+        assert after.get("bytes_sent", 0) > 0
+
+    def test_healthy_until_a_replica_crashes(self, deployment):
+        name, simulator, protocol, _ = deployment
+        assert protocol.is_healthy(), f"{name}: unhealthy at start"
+        victim = protocol.node_ids()[-1]
+        node = protocol.node(victim)
+        if not hasattr(node, "crash"):
+            pytest.skip(f"{name} nodes do not expose crash()")
+        node.crash()
+        assert not protocol.is_healthy(), f"{name}: crash not reflected in is_healthy()"
+
+
+class TestRegistry:
+    def test_builtin_protocols_are_registered(self):
+        for name in ("canopus", "zkcanopus", "epaxos", "zookeeper", "raft"):
+            assert name in ALL_PROTOCOLS
+
+    def test_unknown_protocol_raises_with_known_names(self):
+        simulator = Simulator(seed=1)
+        topology = make_single_dc_topology(simulator, nodes_per_rack=2, racks=2)
+        with pytest.raises(ValueError, match="canopus"):
+            build_protocol("viewstamped-replication", topology)
+
+    def test_wrong_config_type_rejected(self):
+        from repro.epaxos.node import EPaxosConfig
+
+        simulator = Simulator(seed=1)
+        topology = make_single_dc_topology(simulator, nodes_per_rack=2, racks=2)
+        with pytest.raises(TypeError, match="CanopusConfig"):
+            build_protocol("canopus", topology, config=EPaxosConfig())
+
+    def test_default_config_matches_spec(self):
+        for name in ALL_PROTOCOLS:
+            spec = protocol_spec(name)
+            config = default_config(name)
+            if spec.config_cls is not None:
+                assert isinstance(config, spec.config_cls)
+
+    def test_duplicate_registration_rejected_then_replaceable(self):
+        marker = object()
+
+        def factory(topology, config=None, on_reply=None):  # pragma: no cover
+            return marker
+
+        register_protocol("test-proto", factory)
+        try:
+            with pytest.raises(ValueError):
+                register_protocol("test-proto", factory)
+            register_protocol("test-proto", factory, replace=True)
+            assert "test-proto" in registered_protocols()
+        finally:
+            unregister_protocol("test-proto")
+        assert "test-proto" not in registered_protocols()
