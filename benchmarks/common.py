@@ -38,10 +38,21 @@ MULTI_DC_PROFILE = ExperimentProfile(
 
 #: Node counts exercised by the single-DC benchmarks.  The paper sweeps
 #: 9/15/21/27; the benchmark default keeps the two endpoints so the scaling
-#: trend is visible without a multi-hour run.
-BENCH_NODE_COUNTS = (9,)
+#: trend is visible without a multi-hour run.  The 27-node point is the one
+#: the fig4a assertion reasons about: at 9 nodes EPaxos (thrifty, 2 ms
+#: batches) legitimately ties or edges out Canopus, and only at scale does
+#: its per-commit fan-out overtake it — asserting at 9 nodes was why the
+#: assertion drifted (see ROADMAP).  The multicast fast path makes the
+#: 27-node sweep cheap enough to keep on by default.
+BENCH_NODE_COUNTS = (9, 27)
 
 
 def run_once(benchmark, func, *args, **kwargs):
     """Run ``func`` exactly once under pytest-benchmark and return its result."""
     return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)
+
+# Host-side simulator speed (wall-clock, events/second, peak heap) is
+# tracked separately from these modelled-behaviour benchmarks: see the
+# perf-tracking mode in repro.bench.runner (PERF_POINTS /
+# ``python -m repro.bench.runner --perf-point ...``), which CI runs on
+# every push and records in BENCH_sim_hotpath.json.

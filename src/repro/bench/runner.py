@@ -15,7 +15,12 @@ The runner follows the paper's methodology (§8.1 "Performance metrics"):
 
 from __future__ import annotations
 
+import hashlib
+import json
+import time
+import tracemalloc
 from dataclasses import dataclass, field, replace
+from functools import partial
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.builders import SystemUnderTest, build_system, make_multi_dc_topology, make_single_dc_topology
@@ -23,7 +28,16 @@ from repro.metrics.collector import RunSummary
 from repro.sim.engine import Simulator
 from repro.workload.generator import WorkloadConfig, WorkloadGenerator
 
-__all__ = ["ExperimentProfile", "RatePointResult", "run_rate_point", "find_max_throughput"]
+__all__ = [
+    "ExperimentProfile",
+    "RatePointResult",
+    "run_rate_point",
+    "find_max_throughput",
+    "PerfPoint",
+    "PERF_POINTS",
+    "run_perf_tracking",
+    "update_perf_report",
+]
 
 
 @dataclass
@@ -142,6 +156,43 @@ def run_rate_point(
     the registry.
     """
     profile = profile or ExperimentProfile.quick()
+    simulator, sut, summary = _execute_rate_point(
+        system,
+        topology_factory,
+        rate_hz,
+        write_ratio,
+        profile,
+        config=config,
+        canopus_config=canopus_config,
+        epaxos_config=epaxos_config,
+        zab_config=zab_config,
+    )
+    return RatePointResult(
+        system=system,
+        aggregate_rate_hz=rate_hz,
+        write_ratio=write_ratio,
+        node_count=len(sut.topology.server_hosts),
+        summary=summary,
+    )
+
+
+def _execute_rate_point(
+    system: str,
+    topology_factory: TopologyFactory,
+    rate_hz: float,
+    write_ratio: float,
+    profile: ExperimentProfile,
+    config: Any = None,
+    canopus_config: Any = None,
+    epaxos_config: Any = None,
+    zab_config: Any = None,
+) -> Tuple[Simulator, SystemUnderTest, RunSummary]:
+    """Build, drive and summarize one rate point, returning the live system.
+
+    :func:`run_rate_point` keeps only the summary; the perf-tracking mode
+    also needs the simulator (event counts) and the protocol (commit-log
+    fingerprints) after the run.
+    """
     simulator = Simulator(seed=profile.seed)
     topology = topology_factory(simulator)
     sut = build_system(
@@ -173,13 +224,7 @@ def run_rate_point(
     sut.stop()
 
     summary = collector.summarize(window_start, window_end)
-    return RatePointResult(
-        system=system,
-        aggregate_rate_hz=rate_hz,
-        write_ratio=write_ratio,
-        node_count=len(topology.server_hosts),
-        summary=summary,
-    )
+    return simulator, sut, summary
 
 
 def find_max_throughput(
@@ -234,3 +279,224 @@ def find_max_throughput(
     if best is None:
         best = points[-1]
     return best, points
+
+
+# ----------------------------------------------------------------------
+# Perf tracking: record the simulator's own speed, not the modelled system's
+# ----------------------------------------------------------------------
+@dataclass
+class PerfPoint:
+    """A fixed-seed workload point whose *host* performance is tracked.
+
+    Everything here pins modelled behaviour (so commit logs are comparable
+    across commits); what varies between commits is how fast the simulator
+    chews through it — wall-clock, events/second, peak heap.
+    """
+
+    label: str
+    system: str = "epaxos"
+    nodes_per_rack: int = 9
+    racks: int = 3
+    rate_hz: float = 24000.0
+    write_ratio: float = 0.2
+    warmup_s: float = 0.1
+    measure_s: float = 0.3
+    cooldown_s: float = 0.05
+    client_processes: int = 36
+    seed: int = 7
+    #: Timing repeats; the minimum wall-clock is reported (least noisy).
+    repeats: int = 3
+    #: EPaxos batching window (ignored by other systems).
+    epaxos_batch_s: float = 0.002
+
+    def profile(self) -> ExperimentProfile:
+        return ExperimentProfile(
+            warmup_s=self.warmup_s,
+            measure_s=self.measure_s,
+            cooldown_s=self.cooldown_s,
+            client_processes=self.client_processes,
+            rate_ladder=(self.rate_hz,),
+            seed=self.seed,
+        )
+
+    def config(self) -> Any:
+        if self.system == "epaxos":
+            from repro.epaxos.node import EPaxosConfig
+
+            return EPaxosConfig(
+                batch_duration_s=self.epaxos_batch_s, latency_probing=True, thrifty=False
+            )
+        return None
+
+
+#: The tracked points.  ``sim-hotpath`` is the ISSUE 2 acceptance point —
+#: the EPaxos 27-node saturation run (24k req/s, ROADMAP's "EPaxos is the
+#: sim bottleneck") — and ``ci-smoke`` is a smaller fixed-seed point cheap
+#: enough for every CI run.
+PERF_POINTS: Dict[str, PerfPoint] = {
+    "sim-hotpath": PerfPoint(label="epaxos-27node-saturation"),
+    "ci-smoke": PerfPoint(
+        label="epaxos-9node-smoke",
+        nodes_per_rack=3,
+        rate_hz=8000.0,
+        measure_s=0.2,
+        client_processes=18,
+        repeats=3,
+    ),
+}
+
+
+def _commit_log_sha256(sut: SystemUnderTest) -> str:
+    """Order-normalized fingerprint of every replica's commit log.
+
+    Request ids come from a process-global counter, so they are normalized
+    to the run's smallest id; the digest then depends only on modelled
+    behaviour and is comparable across commits and processes.
+    """
+    logs = sut.protocol.committed_logs()
+    all_ids = [i for log in logs.values() for i in log]
+    base = min(all_ids) if all_ids else 0
+    normalized = {node: [i - base for i in log] for node, log in sorted(logs.items())}
+    return hashlib.sha256(json.dumps(normalized, sort_keys=True).encode("utf-8")).hexdigest()
+
+
+def run_perf_tracking(point: PerfPoint) -> Dict[str, Any]:
+    """Measure host-side performance of one fixed-seed workload point.
+
+    Runs the point ``point.repeats`` times for wall-clock (minimum wins),
+    then once more under :mod:`tracemalloc` for peak heap (tracing slows
+    execution, so the traced run is never timed).  Returns a plain dict
+    ready for :func:`update_perf_report`.
+    """
+    factory = partial(
+        make_single_dc_topology, nodes_per_rack=point.nodes_per_rack, racks=point.racks
+    )
+    profile = point.profile()
+    run = partial(
+        _execute_rate_point,
+        point.system,
+        factory,
+        point.rate_hz,
+        point.write_ratio,
+        profile,
+        config=point.config(),
+    )
+
+    best_wall: Optional[float] = None
+    events = 0
+    digest = ""
+    completed = 0
+    for _ in range(max(1, point.repeats)):
+        start = time.perf_counter()
+        simulator, sut, summary = run()
+        wall = time.perf_counter() - start
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+        events = simulator.loop.processed_events
+        digest = _commit_log_sha256(sut)
+        completed = summary.requests_completed
+
+    tracemalloc.start()
+    try:
+        run()
+        _, peak_heap = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+
+    return {
+        "label": point.label,
+        "system": point.system,
+        "node_count": point.nodes_per_rack * point.racks,
+        "rate_hz": point.rate_hz,
+        "write_ratio": point.write_ratio,
+        "seed": point.seed,
+        "wall_s": round(best_wall, 4),
+        "events": events,
+        "events_per_s": round(events / best_wall),
+        "peak_heap_bytes": peak_heap,
+        "requests_completed": completed,
+        "commit_log_sha256": digest,
+    }
+
+
+def update_perf_report(
+    path: str, key: str, current: Dict[str, Any], set_baseline: bool = False
+) -> Dict[str, Any]:
+    """Merge one perf measurement into the committed ``BENCH_*.json`` report.
+
+    The report keeps, per tracked point, the committed ``baseline`` (the
+    numbers the repository's history vouches for) and the latest
+    ``current`` measurement plus derived before/after ratios.  The first
+    measurement of a point — or ``set_baseline=True`` — (re)establishes the
+    baseline.  Returns the entry for ``key`` after the merge.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            report = json.load(fh)
+    except (FileNotFoundError, json.JSONDecodeError):
+        report = {"benchmark": "sim_hotpath", "points": {}}
+    points = report.setdefault("points", {})
+    entry = points.setdefault(key, {})
+    if set_baseline or "baseline" not in entry:
+        entry["baseline"] = current
+    entry["current"] = current
+    baseline = entry["baseline"]
+    entry["wall_clock_speedup_vs_baseline"] = round(baseline["wall_s"] / current["wall_s"], 3)
+    entry["events_per_s_ratio_vs_baseline"] = round(
+        current["events_per_s"] / baseline["events_per_s"], 3
+    )
+    if baseline.get("commit_log_sha256"):
+        entry["commit_logs_match_baseline"] = (
+            baseline["commit_log_sha256"] == current["commit_log_sha256"]
+        )
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return entry
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI for the perf-tracking mode (used by the CI perf smoke step).
+
+    ``python -m repro.bench.runner --perf-point ci-smoke --report
+    BENCH_sim_hotpath.json --fail-below 0.7`` runs the point, merges it
+    into the report, and exits non-zero when events/second fell below the
+    given fraction of the committed baseline.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(description=main.__doc__)
+    parser.add_argument("--perf-point", choices=sorted(PERF_POINTS), default="ci-smoke")
+    parser.add_argument("--report", default="BENCH_sim_hotpath.json")
+    parser.add_argument(
+        "--fail-below",
+        type=float,
+        default=None,
+        help="fail when current events/s < this fraction of the committed baseline",
+    )
+    parser.add_argument(
+        "--set-baseline", action="store_true", help="re-establish the committed baseline"
+    )
+    args = parser.parse_args(argv)
+
+    point = PERF_POINTS[args.perf_point]
+    current = run_perf_tracking(point)
+    entry = update_perf_report(args.report, args.perf_point, current, set_baseline=args.set_baseline)
+    ratio = entry["events_per_s_ratio_vs_baseline"]
+    print(
+        f"{point.label}: wall={current['wall_s']}s "
+        f"events/s={current['events_per_s']} "
+        f"peak_heap={current['peak_heap_bytes'] / 1e6:.1f}MB "
+        f"events/s ratio vs baseline={ratio}"
+    )
+    if entry.get("commit_logs_match_baseline") is False:
+        print("ERROR: commit logs diverged from the committed baseline (fixed seed)")
+        return 2
+    if args.fail_below is not None and ratio < args.fail_below:
+        print(f"ERROR: events/s regressed below {args.fail_below:.0%} of the committed baseline")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

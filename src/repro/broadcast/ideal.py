@@ -21,8 +21,7 @@ class IdealBroadcast(ReliableBroadcast):
     def broadcast(self, payload: Any) -> None:
         envelope = self.next_envelope(payload)
         self.broadcasts_sent += 1
-        for peer in self.peers:
-            self.transport.send(peer, envelope, envelope.wire_size())
+        self.transport.broadcast(self.peers, envelope, envelope.wire_size())
         # Deliver locally right away: the sender trivially has the payload.
         self._local_deliver(self.node_id, payload)
 

@@ -52,6 +52,12 @@ class CycleState:
     buffered_requests: Dict[str, List[str]] = field(default_factory=dict)
     #: Outstanding remote fetches keyed by vnode id.
     fetches: Dict[str, FetchState] = field(default_factory=dict)
+    #: Interned proposal-request replies: vnode id -> (reply, wire size).
+    #: Serving the same vnode state to several requesters re-uses one
+    #: message object and one wire-size computation; the cache dies with
+    #: the cycle, and vnode states are recorded at most once per vnode
+    #: (:meth:`record_vnode_state`), so entries can never go stale.
+    reply_cache: Dict[str, Tuple[Proposal, int]] = field(default_factory=dict)
     #: Client write requests proposed by this node in this cycle.
     own_requests: Tuple[ClientRequest, ...] = ()
     #: Membership updates proposed by this node in this cycle.

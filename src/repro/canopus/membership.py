@@ -95,9 +95,8 @@ class FailureDetector:
     # ------------------------------------------------------------------
     def _send_heartbeats(self) -> None:
         beat = Heartbeat(sender=self.runtime.node_id, sent_at=self.runtime.now())
-        for peer in self.peers:
-            if peer not in self._suspected:
-                self.transport.send(peer, beat, beat.wire_size())
+        alive = [peer for peer in self.peers if peer not in self._suspected]
+        self.transport.broadcast(alive, beat, beat.wire_size())
 
     def _check_peers(self) -> None:
         now = self.runtime.now()

@@ -429,17 +429,20 @@ class CanopusNode:
             state.buffer_request(vnode_id, sender)
 
     def _send_vnode_state(self, requester: str, state: CycleState, vnode_state: Proposal) -> None:
-        reply = Proposal(
-            cycle_id=state.cycle_id,
-            round_number=max(2, vnode_state.round_number),
-            vnode_id=vnode_state.vnode_id,
-            sender=self.node_id,
-            proposal_number=vnode_state.proposal_number,
-            requests=vnode_state.requests,
-            membership_updates=vnode_state.membership_updates,
-        )
+        cached = state.reply_cache.get(vnode_state.vnode_id)
+        if cached is None:
+            reply = Proposal(
+                cycle_id=state.cycle_id,
+                round_number=max(2, vnode_state.round_number),
+                vnode_id=vnode_state.vnode_id,
+                sender=self.node_id,
+                proposal_number=vnode_state.proposal_number,
+                requests=vnode_state.requests,
+                membership_updates=vnode_state.membership_updates,
+            )
+            cached = state.reply_cache[vnode_state.vnode_id] = (reply, reply.wire_size())
         self.stats["proposal_requests_served"] += 1
-        self.transport.send(requester, reply, reply.wire_size())
+        self.transport.send(requester, cached[0], cached[1])
 
     def _serve_buffered_requests(self, state: CycleState, vnode_id: str) -> None:
         vnode_state = state.vnode_states.get(vnode_id)
@@ -682,8 +685,7 @@ class CanopusNode:
     def request_join(self) -> None:
         """Ask the live members of our super-leaf to re-admit this node."""
         request = JoinRequest(node_id=self.node_id, super_leaf=self.super_leaf.name)
-        for peer in self.super_leaf.peers_of(self.node_id):
-            self.transport.send(peer, request, request.wire_size())
+        self.transport.broadcast(self.super_leaf.peers_of(self.node_id), request, request.wire_size())
 
     # ==================================================================
     # Introspection

@@ -216,8 +216,9 @@ class EPaxosNode:
         self.instances[instance_id] = instance
         self._record_interference(instance_id, commands)
         message = PreAccept(instance=instance_id, commands=commands, seq=seq, deps=deps)
-        for peer in self._quorum_peers(self.fast_quorum_size()):
-            self.transport.send(peer, message, message.wire_size())
+        self.transport.broadcast(
+            self._quorum_peers(self.fast_quorum_size()), message, message.wire_size()
+        )
         if len(self.replicas) == 1:
             self._commit_instance(instance)
 
@@ -320,8 +321,9 @@ class EPaxosNode:
             message_out = Accept(
                 instance=instance.instance, commands=instance.commands, seq=seq, deps=instance.deps
             )
-            for peer in self._quorum_peers(self.slow_quorum_size()):
-                self.transport.send(peer, message_out, message_out.wire_size())
+            self.transport.broadcast(
+                self._quorum_peers(self.slow_quorum_size()), message_out, message_out.wire_size()
+            )
 
     def _on_accept(self, sender: str, message: Accept) -> None:
         instance = self.instances.get(message.instance)
@@ -355,14 +357,15 @@ class EPaxosNode:
             return
         instance.status = "committed"
         self.stats["instances_committed"] += 1
+        # One interned Commit for the whole fan-out: the message object, its
+        # wire size, and the network-level packet schedule are shared.
         commit = Commit(
             instance=instance.instance,
             commands=instance.commands,
             seq=instance.seq,
             deps=instance.deps,
         )
-        for peer in self.peers():
-            self.transport.send(peer, commit, commit.wire_size())
+        self.transport.broadcast(self.peers(), commit, commit.wire_size())
         self._execute(instance, reply_to_clients=True)
 
     def _on_commit(self, message: Commit) -> None:
@@ -416,8 +419,7 @@ class EPaxosNode:
         if self.crashed:
             return
         probe = _Probe(sender=self.node_id, sent_at=self.runtime.now())
-        for peer in self.peers():
-            self.transport.send(peer, probe, probe.wire_size())
+        self.transport.broadcast(self.peers(), probe, probe.wire_size())
 
     def executed_commands(self) -> List[int]:
         """Request ids of executed commands (order is per-replica arrival)."""

@@ -182,8 +182,7 @@ class RaftNode:
             last_log_index=self.log.last_index,
             last_log_term=self.log.last_term,
         )
-        for peer in self.peers():
-            self.transport.send(peer, request, request.wire_size())
+        self.transport.broadcast(self.peers(), request, request.wire_size())
 
     def _on_request_vote(self, message: RequestVote) -> None:
         if message.term > self.current_term:
@@ -249,23 +248,43 @@ class RaftNode:
         self._replicate_to_all()
 
     def _replicate_to_all(self) -> None:
+        # Consecutive peers that share a next_index (all of them, in the
+        # steady state) receive one interned AppendEntries via the
+        # broadcast fast path; stragglers with a diverged log get their own
+        # tailored message.  Only *runs* are grouped so the per-peer send
+        # order — and with it the modelled CPU/link schedule — is exactly
+        # that of sequential per-peer sends.
+        default_index = self.log.last_index + 1
+        run: List[str] = []
+        run_index = 0
         for peer in self.peers():
-            self._replicate_to(peer)
+            next_index = self.next_index.get(peer, default_index)
+            if run and next_index != run_index:
+                message = self._append_entries_for(run_index)
+                self.transport.broadcast(run, message, message.wire_size())
+                run = []
+            run_index = next_index
+            run.append(peer)
+        if run:
+            message = self._append_entries_for(run_index)
+            self.transport.broadcast(run, message, message.wire_size())
 
-    def _replicate_to(self, peer: str) -> None:
-        next_index = self.next_index.get(peer, self.log.last_index + 1)
+    def _append_entries_for(self, next_index: int) -> AppendEntries:
         prev_index = next_index - 1
         prev_term = self.log.term_at(prev_index) if prev_index <= self.log.last_index else 0
-        entries = self.log.entries_from(next_index)
-        message = AppendEntries(
+        return AppendEntries(
             group_id=self.group_id,
             term=self.current_term,
             leader_id=self.node_id,
             prev_log_index=prev_index,
             prev_log_term=prev_term,
-            entries=entries,
+            entries=self.log.entries_from(next_index),
             leader_commit=self.commit_index,
         )
+
+    def _replicate_to(self, peer: str) -> None:
+        next_index = self.next_index.get(peer, self.log.last_index + 1)
+        message = self._append_entries_for(next_index)
         self.transport.send(peer, message, message.wire_size())
 
     def _on_append_entries(self, message: AppendEntries) -> None:

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import abc
 import random
-from typing import Any, Callable, Iterable, Optional
+from typing import Any, Callable, Iterable, Optional, Sequence
 
 __all__ = ["Runtime", "Timer", "Transport", "estimate_size"]
 
@@ -86,12 +86,24 @@ class Transport:
         self.runtime.send(dst, message, size)
 
     def broadcast(self, destinations: Iterable[str], message: Any, size_bytes: Optional[int] = None) -> None:
-        """Send ``message`` to every destination except the owning node."""
+        """Send one logical ``message`` to every destination except the owner.
+
+        The wire size is resolved once for the whole group (``wire_size()``
+        on a large batch message is O(batch), so per-peer recomputation was
+        a real cost at high fan-out) and the group is handed to the
+        runtime's multicast primitive: on the simulator that is the
+        network-layer fast path, which charges identical per-destination
+        costs but allocates one shared logical message and one transmit
+        event for the group.
+        """
         size = size_bytes if size_bytes is not None else estimate_size(message)
         node_id = self.runtime.node_id
-        for dst in destinations:
-            if dst != node_id:
-                self.send(dst, message, size)
+        dsts = [dst for dst in destinations if dst != node_id]
+        if not dsts:
+            return
+        self.messages_sent += len(dsts)
+        self.bytes_sent += size * len(dsts)
+        self.runtime.multicast(dsts, message, size)
 
 
 class Runtime(abc.ABC):
@@ -123,6 +135,19 @@ class Runtime(abc.ABC):
         bandwidth accounting; when omitted, the runtime estimates it from
         the message itself (see :func:`estimate_size`).
         """
+
+    def multicast(self, dsts: Sequence[str], message: Any, size_bytes: Optional[int] = None) -> None:
+        """Substrate-level fan-out primitive; protocols use
+        :meth:`Transport.broadcast`.
+
+        The default implementation degenerates to sequential sends, which
+        is always behaviourally correct; substrates with a native fan-out
+        path (the simulator's :meth:`repro.sim.network.Host.multicast`)
+        override it.
+        """
+        size = size_bytes if size_bytes is not None else estimate_size(message)
+        for dst in dsts:
+            self.send(dst, message, size)
 
     @abc.abstractmethod
     def after(self, delay: float, callback: Callable[[], None]) -> Timer:

@@ -32,6 +32,10 @@ class SimRuntime(Runtime):
         size = size_bytes if size_bytes is not None else estimate_size(message)
         self.host.send(dst, message, size)
 
+    def multicast(self, dsts, message: Any, size_bytes: Optional[int] = None) -> None:
+        size = size_bytes if size_bytes is not None else estimate_size(message)
+        self.host.multicast(dsts, message, size)
+
     def after(self, delay: float, callback: Callable[[], None]) -> Timer:
         event = self.simulator.loop.schedule(delay, callback, label=f"timer:{self.node_id}")
         return Timer(event.cancel)

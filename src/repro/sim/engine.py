@@ -37,6 +37,18 @@ class Event:
     network layer deliver packets before application timers that fire at
     exactly the same instant, which keeps traces intuitive; ``seq`` makes
     ordering total and therefore deterministic.
+
+    The loop's heap stores ``(time, priority, seq, event)`` tuples rather
+    than the events themselves: tuple comparison runs in C and almost
+    always resolves on the first float, where the dataclass-generated
+    ``__lt__`` builds two tuples per comparison in Python.  The dataclass
+    ordering is kept for callers that sort events directly.
+
+    Heap entries whose fourth element is a bare callable instead of an
+    Event are the *fast path* used by :meth:`EventLoop.schedule_fast`:
+    delivery queues re-arm themselves roughly once per network event, and
+    those wake-ups are never cancelled, never labelled, and never
+    inspected, so allocating an Event for each was pure overhead.
     """
 
     time: float
@@ -65,7 +77,7 @@ class EventLoop:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: List[Event] = []
+        self._heap: List[tuple] = []
         self._seq = itertools.count()
         self._running = False
         self._processed = 0
@@ -115,12 +127,26 @@ class EventLoop:
         """Schedule ``callback`` at absolute simulated time ``when``."""
         if when < self._now:
             raise ValueError(f"cannot schedule at {when} before now={self._now}")
+        seq = next(self._seq)
         event = Event(
-            time=when, priority=priority, seq=next(self._seq), callback=callback, label=label, loop=self
+            time=when, priority=priority, seq=seq, callback=callback, label=label, loop=self
         )
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (when, priority, seq, event))
         self._live += 1
         return event
+
+    def schedule_fast(self, when: float, callback: Callable[[], None], priority: int = 10) -> None:
+        """Schedule a non-cancellable callback at absolute time ``when``.
+
+        Skips the :class:`Event` wrapper entirely — the heap entry carries
+        the bare callable.  Meant for the network delivery queues, which
+        re-arm once per delivery burst and never cancel; ordering semantics
+        ((time, priority, seq)) are identical to :meth:`schedule_at`.
+        """
+        if when < self._now:
+            raise ValueError(f"cannot schedule at {when} before now={self._now}")
+        heapq.heappush(self._heap, (when, priority, next(self._seq), callback))
+        self._live += 1
 
     # ------------------------------------------------------------------
     # Execution
@@ -128,7 +154,17 @@ class EventLoop:
     def step(self) -> bool:
         """Execute the next pending event.  Returns ``False`` when empty."""
         while self._heap:
-            event = heapq.heappop(self._heap)
+            entry = heapq.heappop(self._heap)
+            event = entry[3]
+            if event.__class__ is not Event:
+                # schedule_fast entry: the callable itself, never cancelled.
+                if entry[0] < self._now:
+                    raise SimulationError("event heap produced an event in the past")
+                self._now = entry[0]
+                self._processed += 1
+                self._live -= 1
+                event()
+                return True
             if event.cancelled:
                 continue
             if event.time < self._now:
@@ -164,11 +200,12 @@ class EventLoop:
         """
         executed = 0
         while self._heap:
-            head = self._heap[0]
-            if head.cancelled:
+            entry = self._heap[0]
+            head = entry[3]
+            if head.__class__ is Event and head.cancelled:
                 heapq.heappop(self._heap)
                 continue
-            if head.time > deadline:
+            if entry[0] > deadline:
                 break
             self.step()
             executed += 1

@@ -23,7 +23,7 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.sim.engine import Event, EventLoop, SimulationError
 
@@ -42,7 +42,23 @@ __all__ = [
 DEFAULT_HEADER_BYTES = 64
 
 
-@dataclass
+class _Repeat:
+    """Constant pseudo-sequence: indexes to the same value at any position."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def __getitem__(self, index: int) -> Any:
+        return self.value
+
+
+#: Cache-miss sentinel (None is a valid cached value: loopback).
+_MISSING = object()
+
+
+@dataclass(slots=True)
 class Packet:
     """A message in flight between two hosts."""
 
@@ -98,7 +114,7 @@ class DeliveryQueue:
     timing is never wrong, merely unbatched.
     """
 
-    __slots__ = ("loop", "deliver", "priority", "label", "_pending", "_event")
+    __slots__ = ("loop", "deliver", "priority", "label", "_pending", "_armed")
 
     def __init__(
         self,
@@ -112,7 +128,7 @@ class DeliveryQueue:
         self.priority = priority
         self.label = label
         self._pending: "deque[Tuple[float, Any]]" = deque()
-        self._event: Optional[Event] = None
+        self._armed = False
 
     def __len__(self) -> int:
         return len(self._pending)
@@ -121,27 +137,23 @@ class DeliveryQueue:
         """Enqueue ``item`` for delivery at absolute time ``when``."""
         pending = self._pending
         if pending and when < pending[-1][0]:
-            self.loop.schedule_at(
-                when, lambda: self.deliver(item), priority=self.priority, label=self.label
-            )
+            self.loop.schedule_fast(when, lambda: self.deliver(item), self.priority)
             return
         pending.append((when, item))
-        if self._event is None:
-            self._event = self.loop.schedule_at(
-                when, self._flush, priority=self.priority, label=self.label
-            )
+        if not self._armed:
+            self._armed = True
+            self.loop.schedule_fast(when, self._flush, self.priority)
 
     def _flush(self) -> None:
-        self._event = None
+        self._armed = False
         pending = self._pending
         now = self.loop.now
         deliver = self.deliver
         while pending and pending[0][0] <= now:
             deliver(pending.popleft()[1])
-        if pending and self._event is None:
-            self._event = self.loop.schedule_at(
-                pending[0][0], self._flush, priority=self.priority, label=self.label
-            )
+        if pending and not self._armed:
+            self._armed = True
+            self.loop.schedule_fast(pending[0][0], self._flush, self.priority)
 
 
 class Link:
@@ -167,13 +179,38 @@ class Link:
 
     def transmit(self, packet: Packet) -> float:
         """Enqueue ``packet`` and return its arrival time at the far end."""
-        now = self.loop.now
-        serialization = packet.total_bytes() * 8.0 / self.bandwidth_bps
-        start = max(now, self._busy_until)
+        total_bytes = packet.size_bytes + DEFAULT_HEADER_BYTES
+        serialization = total_bytes * 8.0 / self.bandwidth_bps
+        start = max(self.loop.now, self._busy_until)
         finish = start + serialization
         self._busy_until = finish
         arrival = finish + self.latency_s
-        self.bytes_sent += packet.total_bytes()
+        self.bytes_sent += total_bytes
+        self.packets_sent += 1
+        self._arrivals.push(arrival, packet)
+        return arrival
+
+    def transmit_at(self, earliest_start: float, packet: Packet) -> float:
+        """Like :meth:`transmit`, but the packet may not start serializing
+        before ``earliest_start``.
+
+        The multicast fast path uses this to transmit a whole fan-out group
+        in one event turn while charging each packet exactly the link time
+        it would have been charged had its sender injected it at its own
+        CPU-finish instant: ``start = max(earliest_start, busy)`` is the
+        same arithmetic :meth:`transmit` performs with ``now`` when the
+        injection happens as a dedicated event at ``earliest_start``.  This
+        is only sound when no other source can touch this link's queue in
+        between — true for host egress links, which are fed exclusively by
+        their owning host in CPU-finish order.
+        """
+        total_bytes = packet.size_bytes + DEFAULT_HEADER_BYTES
+        serialization = total_bytes * 8.0 / self.bandwidth_bps
+        start = max(earliest_start, self._busy_until)
+        finish = start + serialization
+        self._busy_until = finish
+        arrival = finish + self.latency_s
+        self.bytes_sent += total_bytes
         self.packets_sent += 1
         self._arrivals.push(arrival, packet)
         return arrival
@@ -239,12 +276,37 @@ class Switch(NetworkElement):
             link.transmit(packet)
 
 
+class _TxGroup:
+    """All sends charged to one host's CPU within a single event turn.
+
+    Every entry carries the absolute CPU-finish time its packet would have
+    been injected at by a dedicated per-send event; the group is flushed as
+    one event at the earliest of those times and each packet is handed to
+    its first-hop link with ``transmit_at(start)``, reproducing the exact
+    serialization schedule of per-send injection (see
+    :meth:`Link.transmit_at` for why that is sound).
+    """
+
+    __slots__ = ("dsts", "payloads", "sizes", "starts")
+
+    def __init__(self) -> None:
+        self.dsts: List[str] = []
+        self.payloads: List[Any] = []
+        self.sizes: List[int] = []
+        self.starts: List[float] = []
+
+
 class Host(NetworkElement):
     """A simulated machine.
 
     Incoming packets are serviced serially through a single CPU queue and
     then handed to the registered message handler.  Outgoing messages go
-    through :meth:`send`, which consults the network routing table.
+    through :meth:`send` / :meth:`multicast`, which charge this host's CPU
+    and hand the packets to the network routing table when the CPU gets to
+    them.  Sends issued within one event turn are coalesced into a single
+    transmit-queue entry (their CPU-finish times are all determined
+    synchronously, so the schedule is precomputable), which keeps the event
+    heap small under fan-out bursts.
     """
 
     def __init__(self, network: "Network", name: str, cpu: Optional[CpuModel] = None) -> None:
@@ -252,6 +314,7 @@ class Host(NetworkElement):
         self.cpu = cpu or CpuModel()
         self._handler: Optional[Callable[[str, Any], None]] = None
         self._cpu_busy_until = 0.0
+        self._cpu_busy_s = 0.0
         self.messages_received = 0
         self.messages_sent = 0
         self.bytes_received = 0
@@ -261,11 +324,30 @@ class Host(NetworkElement):
         loop = network.loop
         self._rx_queue = DeliveryQueue(loop, self._dispatch, priority=8, label=f"cpu:{name}")
         self._tx_queue = DeliveryQueue(loop, self._inject, priority=9, label=f"send:{name}")
+        #: Open same-turn coalescing group and the loop turn it belongs to.
+        self._open_tx: Optional[_TxGroup] = None
+        self._open_tx_turn = -1
 
     # ------------------------------------------------------------------
     def set_handler(self, handler: Callable[[str, Any], None]) -> None:
         """Register the callback invoked as ``handler(sender, payload)``."""
         self._handler = handler
+
+    def _tx_group(self) -> Tuple[_TxGroup, bool]:
+        """The open coalescing group for the current event turn.
+
+        A group stays open only for the duration of one loop turn: any
+        event processed in between bumps ``processed_events``, so a stale
+        group (which may already have flushed) is never extended.
+        """
+        turn = self.network.loop.processed_events
+        group = self._open_tx
+        if group is not None and self._open_tx_turn == turn:
+            return group, False
+        group = _TxGroup()
+        self._open_tx = group
+        self._open_tx_turn = turn
+        return group, True
 
     def send(self, dst: str, payload: Any, size_bytes: int) -> None:
         """Send ``payload`` to host ``dst``.
@@ -277,24 +359,62 @@ class Host(NetworkElement):
             return
         self.messages_sent += 1
         probe = Packet(src=self.name, dst=dst, payload=payload, size_bytes=size_bytes)
-        now = self.network.loop.now
-        start = max(now, self._cpu_busy_until)
-        finish = start + self.cpu.send_time(probe)
+        cost = self.cpu.send_time(probe)
+        start = max(self.network.loop.now, self._cpu_busy_until)
+        finish = start + cost
         self._cpu_busy_until = finish
-        self._tx_queue.push(finish, (dst, payload, size_bytes))
+        self._cpu_busy_s += cost
+        group, fresh = self._tx_group()
+        group.dsts.append(dst)
+        group.payloads.append(payload)
+        group.sizes.append(size_bytes)
+        group.starts.append(finish)
+        if fresh:
+            self._tx_queue.push(finish, group)
 
-    def _inject(self, pending_send: Tuple[str, Any, int]) -> None:
-        dst, payload, size_bytes = pending_send
-        self.network.send(self.name, dst, payload, size_bytes)
+    def multicast(self, dsts: Sequence[str], payload: Any, size_bytes: int) -> None:
+        """Send one logical ``payload`` to every host in ``dsts``.
+
+        Each destination is charged the same CPU send cost, link
+        serialization and receive cost as ``len(dsts)`` sequential
+        :meth:`send` calls — modelled timings are identical — but the send
+        cost is computed once, the whole group rides a single
+        transmit-queue entry, and routing is resolved through the network's
+        per-pair first-hop cache.  Sole granularity exception: destination
+        crash-stop state is sampled when the group flushes, not at each
+        packet's logical injection instant (see ARCHITECTURE.md, "Transport
+        / broadcast fast path").
+        """
+        if self.failed or not dsts:
+            return
+        self.messages_sent += len(dsts)
+        probe = Packet(src=self.name, dst=self.name, payload=payload, size_bytes=size_bytes)
+        cost = self.cpu.send_time(probe)
+        start = max(self.network.loop.now, self._cpu_busy_until)
+        group, fresh = self._tx_group()
+        for dst in dsts:
+            start += cost
+            group.dsts.append(dst)
+            group.payloads.append(payload)
+            group.sizes.append(size_bytes)
+            group.starts.append(start)
+        self._cpu_busy_until = start
+        self._cpu_busy_s += cost * len(dsts)
+        if fresh:
+            self._tx_queue.push(group.starts[0], group)
+
+    def _inject(self, group: _TxGroup) -> None:
+        self.network._deliver_fanout(self.name, group.dsts, group.payloads, group.sizes, group.starts)
 
     # ------------------------------------------------------------------
     def receive(self, packet: Packet) -> None:
         if self.failed:
             return
-        now = self.network.loop.now
-        start = max(now, self._cpu_busy_until)
-        finish = start + self.cpu.service_time(packet)
+        cost = self.cpu.service_time(packet)
+        start = max(self.network.loop.now, self._cpu_busy_until)
+        finish = start + cost
         self._cpu_busy_until = finish
+        self._cpu_busy_s += cost
         self._rx_queue.push(finish, packet)
 
     def _dispatch(self, packet: Packet) -> None:
@@ -315,9 +435,16 @@ class Host(NetworkElement):
         self.failed = False
 
     def cpu_utilization(self, elapsed_s: float) -> float:
+        """Fraction of ``elapsed_s`` the CPU spent servicing messages.
+
+        Accumulated busy seconds, not the ``_cpu_busy_until`` timestamp:
+        the timestamp equals elapsed time plus queue backlog whenever the
+        CPU was ever busy near the end of the window, which over-reported
+        utilization for any host with idle gaps.
+        """
         if elapsed_s <= 0:
             return 0.0
-        return min(1.0, self._cpu_busy_until / elapsed_s) if self._cpu_busy_until else 0.0
+        return min(1.0, self._cpu_busy_s / elapsed_s)
 
 
 class Network:
@@ -341,6 +468,15 @@ class Network:
         self.local_loopback_latency_s = 5e-6
         self.dropped_packets = 0
         self._loopback_queues: Dict[str, DeliveryQueue] = {}
+        #: Cached fan-out plans: (src, frozenset(dsts)) -> {dst: first-hop
+        #: Link, or None for loopback}.  Invalidated with the routing table.
+        self._fanout_plans: Dict[Tuple[str, frozenset], Dict[str, Optional[Link]]] = {}
+        #: Per-pair first-hop cache backing the plans *and* the coalesced
+        #: transmit groups: (src, dst) -> first-hop Link (None = loopback).
+        #: Bounded by the number of host pairs actually communicating,
+        #: unlike per-group keys, which would grow with every distinct
+        #: destination mix a turn happens to coalesce.
+        self._first_hops: Dict[Tuple[str, str], Optional[Link]] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -404,6 +540,8 @@ class Network:
                         queue.append((neighbor, first))
             self._routes[source] = next_hop
         self._routes_dirty = False
+        self._fanout_plans.clear()
+        self._first_hops.clear()
 
     def next_hop(self, src: str, dst: str) -> str:
         if self._routes_dirty:
@@ -432,31 +570,121 @@ class Network:
     # Transmission
     # ------------------------------------------------------------------
     def send(self, src: str, dst: str, payload: Any, size_bytes: int) -> None:
-        """Inject a packet from host ``src`` to host ``dst``."""
-        if src not in self.hosts or dst not in self.hosts:
-            raise SimulationError(f"send requires host endpoints ({src} -> {dst})")
-        if self.hosts[dst].failed:
-            self.dropped_packets += 1
-            return
-        packet = Packet(
-            src=src,
-            dst=dst,
-            payload=payload,
-            size_bytes=size_bytes,
-            packet_id=next(self._packet_ids),
-            sent_at=self.loop.now,
+        """Inject a packet from host ``src`` to host ``dst``.
+
+        A one-destination fan-out: unicast and multicast share a single
+        injection semantics (:meth:`_deliver_fanout`) so drop accounting,
+        loopback handling and routing can never drift apart.
+        """
+        now = self.loop.now
+        self._deliver_fanout(src, (dst,), _Repeat(payload), _Repeat(size_bytes), _Repeat(now))
+
+    def multicast(self, src: str, dsts: Sequence[str], payload: Any, size_bytes: int) -> None:
+        """Inject one logical ``payload`` from ``src`` to every host in ``dsts``.
+
+        A single shared message object fans out through the cached
+        ``(src, frozenset(dsts))`` first-hop plan; every destination is
+        still charged its own link serialization and receive cost, so
+        modelled timings equal ``len(dsts)`` sequential :meth:`send` calls.
+        Destinations may repeat, include ``src`` (loopback delivery), or be
+        crash-stopped (the packet is dropped and counted, as in ``send``).
+        """
+        if src not in self.hosts:
+            raise SimulationError(f"send requires host endpoints ({src} -> ...)")
+        plan = self._fanout_plan(src, dsts)  # validates the group up front
+        now = self.loop.now
+        self._deliver_fanout(
+            src, dsts, _Repeat(payload), _Repeat(size_bytes), _Repeat(now), plan=plan
         )
-        if src == dst:
-            queue = self._loopback_queues.get(dst)
-            if queue is None:
-                queue = self._loopback_queues[dst] = DeliveryQueue(
-                    self.loop, self.hosts[dst].receive, priority=5, label=f"loopback:{dst}"
-                )
-            queue.push(self.loop.now + self.local_loopback_latency_s, packet)
-            return
-        next_element = self.next_hop(src, dst)
-        link = self.hosts[src].interface.links[next_element]
-        link.transmit(packet)
+
+    def _loopback_queue(self, dst: str) -> DeliveryQueue:
+        queue = self._loopback_queues.get(dst)
+        if queue is None:
+            queue = self._loopback_queues[dst] = DeliveryQueue(
+                self.loop, self.hosts[dst].receive, priority=5, label=f"loopback:{dst}"
+            )
+        return queue
+
+    def _first_hop(self, src: str, dst: str) -> Optional[Link]:
+        """Cached first-hop egress link for ``src -> dst`` (None = loopback)."""
+        key = (src, dst)
+        link = self._first_hops.get(key, _MISSING)
+        if link is _MISSING:
+            if dst not in self.hosts:
+                raise SimulationError(f"send requires host endpoints ({src} -> {dst})")
+            if dst == src:
+                link = None
+            else:
+                link = self.hosts[src].interface.links[self.next_hop(src, dst)]
+            self._first_hops[key] = link
+        return link
+
+    def _fanout_plan(self, src: str, dsts: Sequence[str]) -> Dict[str, Optional[Link]]:
+        """First-hop routing for a destination group, resolved once and cached.
+
+        The plan maps each destination to the egress link the first packet
+        hop uses (``None`` for loopback); iteration order and per-call CPU
+        charging stay with the caller, so the cache can key on the
+        unordered set.  Used by the :meth:`multicast` primitive, whose
+        callers pass stable destination groups (replica sets); coalesced
+        transmit groups, whose destination mixes are ephemeral, go through
+        the per-pair :meth:`_first_hop` cache instead.
+        """
+        if self._routes_dirty:
+            self._rebuild_routes()
+        key = (src, frozenset(dsts))
+        plan = self._fanout_plans.get(key)
+        if plan is None:
+            plan = {dst: self._first_hop(src, dst) for dst in key[1]}
+            self._fanout_plans[key] = plan
+        return plan
+
+    def _deliver_fanout(
+        self,
+        src: str,
+        dsts: Sequence[str],
+        payloads: Sequence[Any],
+        sizes: Sequence[int],
+        starts: Sequence[float],
+        plan: Optional[Dict[str, Optional[Link]]] = None,
+    ) -> None:
+        """Hand a flushed transmit group to first-hop links in one pass.
+
+        ``starts[i]`` is the CPU-finish instant destination ``i``'s packet
+        would have been injected at by a dedicated event; it is forwarded
+        to :meth:`Link.transmit_at` (or added to the loopback latency) so
+        the per-destination schedule is bit-identical to sequential sends.
+        Routing uses the group's fan-out ``plan`` when the caller resolved
+        one (:meth:`multicast`, whose destination sets are stable), and
+        the per-pair first-hop cache otherwise (coalesced transmit groups,
+        whose destination mixes are ephemeral).
+        """
+        if src not in self.hosts:
+            raise SimulationError(f"send requires host endpoints ({src} -> ...)")
+        if self._routes_dirty:
+            self._rebuild_routes()
+        hosts = self.hosts
+        first_hop = self._first_hop
+        packet_ids = self._packet_ids
+        for i, dst in enumerate(dsts):
+            link = plan[dst] if plan is not None else first_hop(src, dst)
+            target = hosts[dst]
+            if target.failed:
+                self.dropped_packets += 1
+                continue
+            when = starts[i]
+            packet = Packet(
+                src=src,
+                dst=dst,
+                payload=payloads[i],
+                size_bytes=sizes[i],
+                packet_id=next(packet_ids),
+                sent_at=when,
+            )
+            if link is None:
+                self._loopback_queue(dst).push(when + self.local_loopback_latency_s, packet)
+            else:
+                link.transmit_at(when, packet)
 
     # ------------------------------------------------------------------
     # Introspection helpers used by benchmarks

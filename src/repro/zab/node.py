@@ -180,9 +180,9 @@ class ZabNode:
         self.log.append(self.runtime.now(), sum(r.wire_size() for r in requests))
         proposal = ZabProposal(zxid=zxid, origin=origin, requests=requests)
         self.stats["proposals_sent"] += 1
-        for follower in self.followers:
-            if follower != self.node_id:
-                self.transport.send(follower, proposal, proposal.wire_size())
+        # wire_size() walks the whole request batch, so the broadcast facade
+        # computing it once (instead of once per follower) matters here.
+        self.transport.broadcast(self.followers, proposal, proposal.wire_size())
         if len(txn.acks) >= self.quorum_size():
             self._leader_commit(txn)
 
@@ -191,13 +191,10 @@ class ZabNode:
             return
         txn.committed = True
         commit = ZabCommit(zxid=txn.zxid)
-        for follower in self.followers:
-            if follower != self.node_id:
-                self.transport.send(follower, commit, commit.wire_size())
-        inform = ZabInform(zxid=txn.zxid, origin=txn.origin, requests=txn.requests)
-        for observer in self.observers:
-            if observer != self.node_id:
-                self.transport.send(observer, inform, inform.wire_size())
+        self.transport.broadcast(self.followers, commit, commit.wire_size())
+        if self.observers:
+            inform = ZabInform(zxid=txn.zxid, origin=txn.origin, requests=txn.requests)
+            self.transport.broadcast(self.observers, inform, inform.wire_size())
         self._apply_committed(txn.zxid, txn.origin, txn.requests)
 
     # ------------------------------------------------------------------
