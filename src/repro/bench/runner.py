@@ -308,6 +308,11 @@ class PerfPoint:
     repeats: int = 3
     #: EPaxos batching window (ignored by other systems).
     epaxos_batch_s: float = 0.002
+    #: Shards (>1 routes through repro.shard: ``system`` becomes the
+    #: per-shard protocol and the workload gains a multi-key mix).
+    shard_count: int = 1
+    #: Fraction of ops that are cross-shard transactions (sharded points).
+    multi_key_ratio: float = 0.0
 
     def profile(self) -> ExperimentProfile:
         return ExperimentProfile(
@@ -343,17 +348,34 @@ PERF_POINTS: Dict[str, PerfPoint] = {
         client_processes=18,
         repeats=3,
     ),
+    # Two canopus shards over 6 hosts with a cross-shard transaction mix:
+    # tracks the host-side cost of the sharded path (partitioner routing,
+    # per-shard groups, 2PC coordinator) and pins its modelled behaviour
+    # via the commit-log digest, cheaply enough for every CI run.
+    "shard-smoke": PerfPoint(
+        label="canopus-2shard-smoke",
+        system="canopus",
+        shard_count=2,
+        nodes_per_rack=3,
+        racks=2,
+        rate_hz=8000.0,
+        measure_s=0.2,
+        client_processes=18,
+        multi_key_ratio=0.05,
+        repeats=3,
+    ),
 }
 
 
-def _commit_log_sha256(sut: SystemUnderTest) -> str:
+def _commit_log_sha256(logs: Dict[str, List[int]]) -> str:
     """Order-normalized fingerprint of every replica's commit log.
 
     Request ids come from a process-global counter, so they are normalized
     to the run's smallest id; the digest then depends only on modelled
-    behaviour and is comparable across commits and processes.
+    behaviour and is comparable across commits and processes.  ``logs``
+    maps replica name to commit order — a protocol's ``committed_logs()``
+    or a sharded cluster's flat ``"<shard>:<node>"`` view.
     """
-    logs = sut.protocol.committed_logs()
     all_ids = [i for log in logs.values() for i in log]
     base = min(all_ids) if all_ids else 0
     normalized = {node: [i - base for i in log] for node, log in sorted(logs.items())}
@@ -367,20 +389,51 @@ def run_perf_tracking(point: PerfPoint) -> Dict[str, Any]:
     then once more under :mod:`tracemalloc` for peak heap (tracing slows
     execution, so the traced run is never timed).  Returns a plain dict
     ready for :func:`update_perf_report`.
+
+    Points with ``shard_count > 1`` run through the sharded harness
+    (:mod:`repro.bench.shard_bench`): same measurements, with the commit-log
+    digest taken over every shard's replicas.
     """
-    factory = partial(
-        make_single_dc_topology, nodes_per_rack=point.nodes_per_rack, racks=point.racks
-    )
-    profile = point.profile()
-    run = partial(
-        _execute_rate_point,
-        point.system,
-        factory,
-        point.rate_hz,
-        point.write_ratio,
-        profile,
-        config=point.config(),
-    )
+    if point.shard_count > 1:
+        from repro.bench.shard_bench import ShardPointConfig, _execute_shard_point
+
+        shard_config = ShardPointConfig(
+            shard_count=point.shard_count,
+            protocol=point.system,
+            nodes_per_rack=point.nodes_per_rack,
+            racks=point.racks,
+            rate_hz=point.rate_hz,
+            write_ratio=point.write_ratio,
+            multi_key_ratio=point.multi_key_ratio,
+            client_processes=point.client_processes,
+            warmup_s=point.warmup_s,
+            measure_s=point.measure_s,
+            cooldown_s=point.cooldown_s,
+            seed=point.seed,
+            verify=False,  # perf tracking measures the host, digests pin behaviour
+        )
+
+        def run():
+            simulator, cluster, _router, result = _execute_shard_point(shard_config)
+            return simulator, cluster.committed_logs(), result.requests_completed
+    else:
+        factory = partial(
+            make_single_dc_topology, nodes_per_rack=point.nodes_per_rack, racks=point.racks
+        )
+        profile = point.profile()
+        run_point = partial(
+            _execute_rate_point,
+            point.system,
+            factory,
+            point.rate_hz,
+            point.write_ratio,
+            profile,
+            config=point.config(),
+        )
+
+        def run():
+            simulator, sut, summary = run_point()
+            return simulator, sut.protocol.committed_logs(), summary.requests_completed
 
     best_wall: Optional[float] = None
     events = 0
@@ -388,13 +441,13 @@ def run_perf_tracking(point: PerfPoint) -> Dict[str, Any]:
     completed = 0
     for _ in range(max(1, point.repeats)):
         start = time.perf_counter()
-        simulator, sut, summary = run()
+        simulator, logs, run_completed = run()
         wall = time.perf_counter() - start
         if best_wall is None or wall < best_wall:
             best_wall = wall
         events = simulator.loop.processed_events
-        digest = _commit_log_sha256(sut)
-        completed = summary.requests_completed
+        digest = _commit_log_sha256(logs)
+        completed = run_completed
 
     tracemalloc.start()
     try:
@@ -407,6 +460,7 @@ def run_perf_tracking(point: PerfPoint) -> Dict[str, Any]:
         "label": point.label,
         "system": point.system,
         "node_count": point.nodes_per_rack * point.racks,
+        "shard_count": point.shard_count,
         "rate_hz": point.rate_hz,
         "write_ratio": point.write_ratio,
         "seed": point.seed,
@@ -462,6 +516,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     BENCH_sim_hotpath.json --fail-below 0.7`` runs the point, merges it
     into the report, and exits non-zero when events/second fell below the
     given fraction of the committed baseline.
+
+    ``python -m repro.bench.runner --shard-saturation`` instead runs the
+    sharded scaling sweep (1/2/4 Canopus shards at one saturating offered
+    rate, fixed seed), prints the report, merges it into the report file
+    under ``shard_saturation``, and fails when 4-shard committed-ops/s is
+    below ``--min-scaling`` times the single-shard point or any
+    linearizability / atomicity check fails.
     """
     import argparse
 
@@ -477,7 +538,43 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--set-baseline", action="store_true", help="re-establish the committed baseline"
     )
+    parser.add_argument(
+        "--shard-saturation",
+        action="store_true",
+        help="run the sharded throughput-scaling sweep instead of a perf point",
+    )
+    parser.add_argument(
+        "--min-scaling",
+        type=float,
+        default=2.5,
+        help="fail the shard sweep when 4-shard/1-shard ops/s is below this",
+    )
     args = parser.parse_args(argv)
+
+    if args.shard_saturation:
+        from repro.bench.shard_bench import run_shard_saturation
+
+        report = run_shard_saturation()
+        print(json.dumps(report, indent=2))
+        try:
+            with open(args.report, "r", encoding="utf-8") as fh:
+                full = json.load(fh)
+        except (FileNotFoundError, json.JSONDecodeError):
+            full = {"benchmark": "sim_hotpath", "points": {}}
+        full["shard_saturation"] = report
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(full, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        top = str(max(int(count) for count in report["scaling_vs_single"]))
+        scaling = report["scaling_vs_single"][top]
+        if not report["all_linearizable"] or not report["all_atomic"]:
+            print("ERROR: shard sweep failed verification (linearizability/atomicity)")
+            return 2
+        if scaling < args.min_scaling:
+            print(f"ERROR: {top}-shard scaling {scaling:.2f}x below {args.min_scaling}x")
+            return 1
+        print(f"shard-saturation ok: {top}-shard scaling {scaling:.2f}x, all checks passed")
+        return 0
 
     point = PERF_POINTS[args.perf_point]
     current = run_perf_tracking(point)

@@ -1,0 +1,210 @@
+"""The ``shard-saturation`` bench point: throughput scaling with shard count.
+
+One consensus group saturates on per-node CPU and oversubscribed uplinks no
+matter how many nodes it has — every replica still receives every request.
+Sharding breaks that ceiling: K groups over the *same* hosts and network
+each carry ~1/K of the keyspace, so committed-ops/s should scale close to
+linearly until the shared fabric saturates.  This module measures exactly
+that, at a fixed seed, on the §8.1 topology, and verifies while it measures:
+every shard's single-key history must be linearizable and every cross-shard
+transaction atomic (:mod:`repro.verify.atomicity`), so a scaling win can
+never be bought with a correctness loss.
+
+``python -m repro.bench.runner --shard-saturation`` runs the sweep; the
+``shard-smoke`` entry of :data:`repro.bench.runner.PERF_POINTS` tracks the
+host-side cost of a small fixed sharded run in CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.builders import make_single_dc_topology
+from repro.shard import ShardedCluster, ShardMetrics, ShardRouter, txn_marker_kind
+from repro.shard.router import collect_txn_states
+from repro.sim.engine import Simulator
+from repro.verify import check_cross_shard_atomicity, check_linearizable_history
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+
+__all__ = ["ShardPointConfig", "ShardPointResult", "run_shard_point", "run_shard_saturation"]
+
+
+@dataclass
+class ShardPointConfig:
+    """One fixed-seed sharded workload point."""
+
+    shard_count: int = 4
+    protocol: str = "canopus"
+    nodes_per_rack: int = 4
+    racks: int = 3
+    #: Offered load, chosen above a single 12-node Canopus group's capacity
+    #: (~40k committed ops/s on the scaled CPU model) so the 1-shard
+    #: baseline is genuinely saturated.
+    rate_hz: float = 100000.0
+    write_ratio: float = 0.2
+    multi_key_ratio: float = 0.02
+    multi_key_span: int = 3
+    client_processes: int = 36
+    key_count: int = 10_000
+    warmup_s: float = 0.1
+    measure_s: float = 0.4
+    cooldown_s: float = 0.1
+    seed: int = 7
+    #: Run the linearizability + atomicity checkers after the workload.
+    verify: bool = True
+
+
+@dataclass
+class ShardPointResult:
+    """Measured and verified outcome of one sharded rate point."""
+
+    shard_count: int
+    committed_ops_per_s: float
+    per_shard_ops_per_s: Dict[str, float]
+    requests_submitted: int
+    requests_completed: int
+    median_completion_ms: float
+    txns_started: int
+    txns_committed: int
+    txns_aborted: int
+    linearizable: bool
+    atomic: bool
+    detail: str = ""
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "shard_count": self.shard_count,
+            "committed_ops_per_s": round(self.committed_ops_per_s, 1),
+            "per_shard_ops_per_s": {k: round(v, 1) for k, v in self.per_shard_ops_per_s.items()},
+            "requests_submitted": self.requests_submitted,
+            "requests_completed": self.requests_completed,
+            "median_completion_ms": round(self.median_completion_ms, 3),
+            "txns_started": self.txns_started,
+            "txns_committed": self.txns_committed,
+            "txns_aborted": self.txns_aborted,
+            "linearizable": self.linearizable,
+            "atomic": self.atomic,
+        }
+
+
+def _execute_shard_point(
+    config: ShardPointConfig,
+) -> Tuple[Simulator, ShardedCluster, ShardRouter, ShardPointResult]:
+    """Build, drive, measure and (optionally) verify one sharded point."""
+    simulator = Simulator(seed=config.seed)
+    topology = make_single_dc_topology(
+        simulator, nodes_per_rack=config.nodes_per_rack, racks=config.racks
+    )
+    cluster = ShardedCluster.build(topology, config.shard_count, protocol=config.protocol)
+    metrics = ShardMetrics(cluster)
+    router = ShardRouter(cluster)
+    generator = WorkloadGenerator(
+        topology,
+        WorkloadConfig(
+            client_processes=config.client_processes,
+            aggregate_rate_hz=config.rate_hz,
+            write_ratio=config.write_ratio,
+            key_count=config.key_count,
+            multi_key_ratio=config.multi_key_ratio,
+            multi_key_span=config.multi_key_span,
+            seed=config.seed,
+        ),
+        router=router,
+    )
+    collector = generator.build()
+
+    cluster.start()
+    generator.start()
+    window_start = config.warmup_s
+    window_end = config.warmup_s + config.measure_s
+    simulator.run_until(window_end)
+    generator.stop()
+    simulator.run_until(window_end + config.cooldown_s)
+
+    summary = collector.summarize(window_start, window_end)
+    per_shard = metrics.throughput_rps(window_start, window_end)
+
+    linearizable = True
+    atomic = True
+    detail = "verification skipped"
+    if config.verify:
+        # Atomicity is a property *at quiescence*: a transaction caught
+        # mid-decide legitimately has the decision at some participants
+        # only.  Drain the saturated backlog until every coordinator-side
+        # transaction reached its outcome (bounded, in simulated time).
+        drain_deadline = simulator.now + 30.0
+        while router.pending_transactions() and simulator.now < drain_deadline:
+            simulator.run_until(simulator.now + 0.5)
+        failures: List[str] = []
+        for shard_id in cluster.shard_ids:
+            history = collector.to_history(
+                key_filter=lambda key, shard=shard_id: (
+                    txn_marker_kind(key) is None and cluster.shard_of(key) == shard
+                )
+            )
+            ok, message = check_linearizable_history(history)
+            if not ok:
+                linearizable = False
+                failures.append(f"{shard_id}: {message}")
+        states = collect_txn_states(cluster, router.transaction_ids())
+        atomic, atomicity_message = check_cross_shard_atomicity(states)
+        if not atomic:
+            failures.append(atomicity_message)
+        detail = "; ".join(failures) if failures else "all shards linearizable, all txns atomic"
+    cluster.stop()
+
+    result = ShardPointResult(
+        shard_count=config.shard_count,
+        committed_ops_per_s=sum(per_shard.values()),
+        per_shard_ops_per_s=per_shard,
+        requests_submitted=summary.requests_submitted,
+        requests_completed=summary.requests_completed,
+        median_completion_ms=summary.median_completion_s * 1000,
+        txns_started=router.stats["txns_started"],
+        txns_committed=router.stats["txns_committed"],
+        txns_aborted=router.stats["txns_aborted"],
+        linearizable=linearizable,
+        atomic=atomic,
+        detail=detail,
+    )
+    return simulator, cluster, router, result
+
+
+def run_shard_point(config: Optional[ShardPointConfig] = None) -> ShardPointResult:
+    """Run one sharded rate point; see :class:`ShardPointConfig`."""
+    _, _, _, result = _execute_shard_point(config or ShardPointConfig())
+    return result
+
+
+def run_shard_saturation(
+    shard_counts: Sequence[int] = (1, 2, 4),
+    base: Optional[ShardPointConfig] = None,
+) -> Dict[str, Any]:
+    """Sweep shard counts at one offered rate; report scaling vs one shard.
+
+    The offered rate is chosen above a single group's capacity, so the
+    single-shard point saturates and the sweep exposes how much of the
+    offered load additional shards unlock.  Returns a report dict with one
+    entry per shard count plus the scaling ratios the acceptance criterion
+    reads (``scaling_vs_single[shard_count]``).
+    """
+    base = base or ShardPointConfig()
+    points: List[ShardPointResult] = []
+    for count in shard_counts:
+        points.append(run_shard_point(replace(base, shard_count=count)))
+    single = next((p for p in points if p.shard_count == 1), points[0])
+    scaling = {
+        p.shard_count: (p.committed_ops_per_s / single.committed_ops_per_s if single.committed_ops_per_s else 0.0)
+        for p in points
+    }
+    return {
+        "benchmark": "shard-saturation",
+        "protocol": base.protocol,
+        "offered_rate_hz": base.rate_hz,
+        "seed": base.seed,
+        "points": [p.as_dict() for p in points],
+        "scaling_vs_single": {str(k): round(v, 3) for k, v in scaling.items()},
+        "all_linearizable": all(p.linearizable for p in points),
+        "all_atomic": all(p.atomic for p in points),
+    }

@@ -19,7 +19,6 @@ from repro.canopus.lot import LeafOnlyTree
 from repro.canopus.messages import ClientReply, ClientRequest
 from repro.canopus.node import CanopusNode
 from repro.runtime.asyncio_runtime import AsyncioCluster
-from repro.runtime.sim_runtime import SimRuntime
 from repro.sim.topology import Topology
 
 __all__ = ["CanopusCluster", "build_sim_cluster"]
@@ -101,8 +100,7 @@ def build_sim_cluster(
     lot = LeafOnlyTree.from_rack_map(rack_map, height=height)
     cluster = CanopusCluster(lot=lot, config=config)
     for node_id in lot.pnodes:
-        host = topology.network.hosts[node_id]
-        runtime = SimRuntime(topology.simulator, topology.network, host)
+        runtime = topology.make_runtime(node_id)
         cluster.nodes[node_id] = CanopusNode(
             runtime,
             lot,

@@ -29,7 +29,6 @@ from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tup
 from repro.canopus.messages import ClientReply, ClientRequest, RequestType
 from repro.epaxos.messages import Accept, AcceptOK, Commit, InstanceId, PreAccept, PreAcceptOK
 from repro.runtime.base import Runtime, Timer
-from repro.runtime.sim_runtime import SimRuntime
 from repro.sim.topology import Topology
 
 __all__ = ["EPaxosConfig", "EPaxosNode", "EPaxosCluster", "build_epaxos_sim_cluster"]
@@ -462,7 +461,6 @@ def build_epaxos_sim_cluster(
     replicas = topology.server_hosts
     cluster = EPaxosCluster(config=config)
     for node_id in replicas:
-        host = topology.network.hosts[node_id]
-        runtime = SimRuntime(topology.simulator, topology.network, host)
+        runtime = topology.make_runtime(node_id)
         cluster.nodes[node_id] = EPaxosNode(runtime, replicas, config=config, on_reply=on_reply)
     return cluster

@@ -3,7 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.verify.history import History
 
 from repro.canopus.messages import ClientReply, ClientRequest, RequestType
 from repro.metrics.stats import percentile, summarize
@@ -20,6 +23,11 @@ class RequestRecord:
     submitted_at: float
     completed_at: Optional[float] = None
     server_id: str = ""
+    #: Operation identity, kept so completed runs can be replayed into a
+    #: :class:`repro.verify.history.History` for linearizability checking.
+    client_id: str = ""
+    key: str = ""
+    value: Optional[str] = None
 
     @property
     def completion_time(self) -> Optional[float]:
@@ -65,7 +73,12 @@ class MetricsCollector:
     # ------------------------------------------------------------------
     def record_submit(self, request: ClientRequest) -> None:
         self.records[request.request_id] = RequestRecord(
-            request_id=request.request_id, op=request.op, submitted_at=request.submitted_at
+            request_id=request.request_id,
+            op=request.op,
+            submitted_at=request.submitted_at,
+            client_id=request.client_id,
+            key=request.key,
+            value=request.value,
         )
 
     def record_reply(self, reply: ClientReply, completed_at: float) -> None:
@@ -74,6 +87,9 @@ class MetricsCollector:
             return
         record.completed_at = completed_at
         record.server_id = reply.server_id
+        # Reads learn their value from the reply; writes keep what they sent.
+        if record.op is RequestType.READ:
+            record.value = reply.value
 
     # ------------------------------------------------------------------
     def completed_records(self) -> List[RequestRecord]:
@@ -110,6 +126,32 @@ class MetricsCollector:
             read_median_s=percentile(read_times, 0.5),
             write_median_s=percentile(write_times, 0.5),
         )
+
+    def to_history(self, key_filter: Optional[Callable[[str], bool]] = None) -> "History":
+        """Completed operations as a :class:`repro.verify.history.History`.
+
+        ``key_filter`` selects which keys participate (e.g. one shard's
+        keys, or excluding the ``__txn__/`` control namespace).  Only
+        completed operations enter the history — linearizability is checked
+        over what clients actually observed.
+        """
+        from repro.verify.history import History
+
+        history = History()
+        for record in self.completed_records():
+            if not record.key:
+                continue
+            if key_filter is not None and not key_filter(record.key):
+                continue
+            history.add(
+                client_id=record.client_id,
+                kind="read" if record.op is RequestType.READ else "write",
+                key=record.key,
+                value=record.value,
+                invoked_at=record.submitted_at,
+                completed_at=record.completed_at,
+            )
+        return history
 
     def reset(self) -> None:
         self.records.clear()

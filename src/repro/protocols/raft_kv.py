@@ -30,7 +30,6 @@ from repro.protocols.registry import register_protocol
 from repro.raft.log import LogEntry
 from repro.raft.node import RaftConfig, RaftNode
 from repro.runtime.base import Runtime
-from repro.runtime.sim_runtime import SimRuntime
 from repro.sim.topology import Topology
 
 __all__ = ["RaftKVConfig", "RaftKVNode", "RaftKVCluster", "RaftKVProtocol", "build_raft_kv"]
@@ -229,8 +228,7 @@ def build_raft_kv(
         raise ValueError("topology has no server hosts")
     nodes: Dict[str, RaftKVNode] = {}
     for node_id in servers:
-        host = topology.network.hosts[node_id]
-        runtime = SimRuntime(topology.simulator, topology.network, host)
+        runtime = topology.make_runtime(node_id)
         nodes[node_id] = RaftKVNode(runtime, servers, config=config, on_reply=on_reply)
     cluster = RaftKVCluster(nodes=nodes, config=config)
     protocol = RaftKVProtocol(topology, cluster)

@@ -19,11 +19,11 @@ from __future__ import annotations
 import asyncio
 import random
 import time
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.runtime.base import Runtime, Timer
 
-__all__ = ["AsyncioRuntime", "AsyncioCluster"]
+__all__ = ["AsyncioRuntime", "AsyncioCluster", "AsyncioTopology"]
 
 
 class AsyncioRuntime(Runtime):
@@ -41,6 +41,9 @@ class AsyncioRuntime(Runtime):
 
     def send(self, dst: str, message: Any, size_bytes: Optional[int] = None) -> None:
         self.cluster.post(self.node_id, dst, message)
+
+    def multicast(self, dsts: Sequence[str], message: Any, size_bytes: Optional[int] = None) -> None:
+        self.cluster.post_group(self.node_id, dsts, message)
 
     def after(self, delay: float, callback: Callable[[], None]) -> Timer:
         handle = self.cluster.loop.call_later(delay, callback)
@@ -105,6 +108,40 @@ class AsyncioCluster:
 
         self.loop.create_task(_deliver())
 
+    def post_group(self, src: str, dsts: Sequence[str], message: Any) -> None:
+        """Deliver one logical ``message`` to a destination group concurrently.
+
+        This is the asyncio substrate's fan-out primitive behind
+        :meth:`AsyncioRuntime.multicast`: one task drives the whole group
+        through ``asyncio.gather``, so per-destination latencies elapse
+        concurrently instead of the base class's sequential per-destination
+        ``send`` loop creating one task per destination.  Delivery per
+        destination is identical to :meth:`post` (same latency lookup, same
+        pending accounting), only the task structure differs.
+        """
+        targets = [dst for dst in dsts if dst in self.runtimes]
+        if not targets:
+            return
+        self._pending += len(targets)
+        self._idle_event.clear()
+
+        async def _deliver_one(dst: str) -> None:
+            try:
+                delay = self.latency(src, dst)
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                self.runtimes[dst].deliver(src, message)
+                self.messages_delivered += 1
+            finally:
+                self._pending -= 1
+                if self._pending == 0:
+                    self._idle_event.set()
+
+        async def _fan_out() -> None:
+            await asyncio.gather(*(_deliver_one(dst) for dst in targets))
+
+        self.loop.create_task(_fan_out())
+
     # ------------------------------------------------------------------
     def run(self, coro: Any) -> Any:
         """Run ``coro`` to completion on the cluster's loop."""
@@ -133,3 +170,40 @@ class AsyncioCluster:
         for task in pending:
             task.cancel()
         self.loop.close()
+
+
+class AsyncioTopology:
+    """A topology-shaped view over an :class:`AsyncioCluster`.
+
+    Registry protocol factories only touch a topology through three hooks —
+    ``server_hosts``, ``servers_by_rack()`` and ``make_runtime(node_id)`` —
+    so this shim is enough to build *any* registered protocol on the asyncio
+    substrate::
+
+        topology = AsyncioTopology({"rack-a": ["a1", "a2"], "rack-b": ["b1", "b2"]})
+        protocol = build_protocol("epaxos", topology)
+        topology.cluster.run_for(1.0)
+
+    There are no client hosts: asyncio deployments submit requests directly
+    through ``protocol.submit`` (the conformance suite's intake path).
+    """
+
+    kind = "asyncio"
+
+    def __init__(self, rack_map: Dict[str, Sequence[str]], seed: int = 0,
+                 cluster: Optional[AsyncioCluster] = None) -> None:
+        self.rack_map: Dict[str, List[str]] = {
+            name: list(members) for name, members in sorted(rack_map.items())
+        }
+        self.cluster = cluster or AsyncioCluster(seed=seed)
+        self.client_hosts: List[str] = []
+
+    @property
+    def server_hosts(self) -> List[str]:
+        return [member for members in self.rack_map.values() for member in members]
+
+    def servers_by_rack(self) -> Dict[str, List[str]]:
+        return {name: list(members) for name, members in self.rack_map.items()}
+
+    def make_runtime(self, node_id: str) -> AsyncioRuntime:
+        return self.cluster.add_node(node_id)

@@ -1,0 +1,44 @@
+"""Sharded consensus: many independent groups over one partitioned keyspace.
+
+Canopus scales *one* consensus group to hundreds of nodes; serving a
+production-scale keyspace additionally requires *many* groups.  This
+package layers that on the protocol registry:
+
+* :class:`~repro.shard.partitioner.KeyspacePartitioner` — deterministic
+  consistent-hash key→shard mapping, with pinnable placement for tests.
+* :class:`~repro.shard.cluster.ShardedCluster` — K independent registry
+  protocols (mixed protocols allowed) over one shared simulated network.
+* :class:`~repro.shard.router.ShardRouter` — single-key routing plus a
+  two-phase-commit coordinator whose prepare/commit decisions are
+  replicated through the participant shards' consensus logs, with
+  coordinator crash recovery.
+* :class:`~repro.shard.metrics.ShardMetrics` — per-shard metrics
+  aggregation for the bench harness.
+
+Cross-shard atomicity is checked by
+:func:`repro.verify.atomicity.check_cross_shard_atomicity`; the
+``shard-saturation`` bench point (``repro.bench.shard_bench``) demonstrates
+near-linear committed-ops/s scaling from 1 to 4 Canopus shards.
+"""
+
+from repro.shard.cluster import ShardedCluster, assign_hosts, shard_view
+from repro.shard.metrics import ShardMetrics
+from repro.shard.partitioner import KeyspacePartitioner
+from repro.shard.router import (
+    TXN_COMMIT_PREFIX,
+    TXN_PREPARE_PREFIX,
+    ShardRouter,
+    txn_marker_kind,
+)
+
+__all__ = [
+    "KeyspacePartitioner",
+    "ShardedCluster",
+    "ShardRouter",
+    "ShardMetrics",
+    "assign_hosts",
+    "shard_view",
+    "txn_marker_kind",
+    "TXN_PREPARE_PREFIX",
+    "TXN_COMMIT_PREFIX",
+]

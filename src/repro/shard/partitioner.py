@@ -1,0 +1,109 @@
+"""Deterministic keyspace partitioning for the sharded consensus layer.
+
+A :class:`KeyspacePartitioner` maps every key to exactly one shard through
+a consistent-hash ring: each shard owns ``points_per_shard`` pseudo-random
+positions on a 32-bit ring, and a key belongs to the shard owning the first
+point at or after the key's own position (wrapping around).  Consistent
+hashing keeps the mapping stable when shards are added or removed — only
+the keys between the moved points change owners — which is the property a
+future resharding path needs.
+
+All positions come from ``zlib.crc32``, never builtin ``hash``: string
+hashes are salted per process, and the partitioner sits on the seeded path
+of every sharded experiment (determinism rule 2 in ARCHITECTURE.md).
+
+Tests and experiments that need to *pin* placement (e.g. to force a
+cross-shard transaction) can override individual keys with :meth:`pin`, or
+construct the partitioner from an explicit ``{key: shard}`` map.
+"""
+
+from __future__ import annotations
+
+import bisect
+import zlib
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["KeyspacePartitioner"]
+
+_RING_BITS = 32
+_RING_SIZE = 1 << _RING_BITS
+
+
+def _position(label: str) -> int:
+    return zlib.crc32(label.encode("utf-8")) & (_RING_SIZE - 1)
+
+
+class KeyspacePartitioner:
+    """Consistent-hash mapping from keys to a fixed set of shard ids."""
+
+    def __init__(
+        self,
+        shard_ids: Sequence[str],
+        points_per_shard: int = 64,
+        pinned: Optional[Dict[str, str]] = None,
+    ) -> None:
+        if not shard_ids:
+            raise ValueError("need at least one shard")
+        if len(set(shard_ids)) != len(shard_ids):
+            raise ValueError("shard ids must be unique")
+        if points_per_shard < 1:
+            raise ValueError("points_per_shard must be >= 1")
+        self.shard_ids: List[str] = list(shard_ids)
+        self.points_per_shard = points_per_shard
+        self._pinned: Dict[str, str] = {}
+        # The ring: sorted point positions with a parallel owner array.
+        entries: List[Tuple[int, str]] = []
+        for shard in self.shard_ids:
+            for replica in range(points_per_shard):
+                entries.append((_position(f"{shard}#{replica}"), shard))
+        # Ties (vanishingly rare with crc32) resolve by shard id so the ring
+        # is a pure function of the configuration, not insertion order.
+        entries.sort()
+        self._points: List[int] = [point for point, _ in entries]
+        self._owners: List[str] = [owner for _, owner in entries]
+        for key, shard in (pinned or {}).items():
+            self.pin(key, shard)
+
+    # ------------------------------------------------------------------
+    def pin(self, key: str, shard_id: str) -> None:
+        """Force ``key`` onto ``shard_id``, overriding the ring."""
+        if shard_id not in self.shard_ids:
+            raise ValueError(f"unknown shard {shard_id!r}")
+        self._pinned[key] = shard_id
+
+    def pinned_keys(self) -> Dict[str, str]:
+        return dict(self._pinned)
+
+    # ------------------------------------------------------------------
+    def shard_of(self, key: str) -> str:
+        """The shard that owns ``key``."""
+        pinned = self._pinned.get(key)
+        if pinned is not None:
+            return pinned
+        index = bisect.bisect_left(self._points, _position(key))
+        if index == len(self._points):
+            index = 0  # wrap around the ring
+        return self._owners[index]
+
+    def group_by_shard(self, keys: Iterable[str]) -> Dict[str, List[str]]:
+        """Partition ``keys`` into ``{shard_id: [keys...]}`` (owners only)."""
+        grouped: Dict[str, List[str]] = {}
+        for key in keys:
+            grouped.setdefault(self.shard_of(key), []).append(key)
+        return grouped
+
+    def spread(self, sample_keys: Iterable[str]) -> Dict[str, int]:
+        """Key counts per shard over a sample (balance diagnostics)."""
+        counts = {shard: 0 for shard in self.shard_ids}
+        for key in sample_keys:
+            counts[self.shard_of(key)] += 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self.shard_ids)
+
+    def __repr__(self) -> str:
+        return (
+            f"<KeyspacePartitioner shards={len(self.shard_ids)} "
+            f"points={len(self._points)} pinned={len(self._pinned)}>"
+        )

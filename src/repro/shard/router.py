@@ -1,0 +1,438 @@
+"""Client-facing routing and cross-shard transactions.
+
+:class:`ShardRouter` is the client library of the sharded deployment:
+
+* **Single-key operations** go straight to the owning shard's intake
+  replica (consistent-hash partitioner + deterministic per-key replica
+  choice) — no coordination, full per-shard throughput.
+
+* **Multi-key operations** run two-phase commit *over the shards' own
+  consensus logs*.  The coordinator never keeps any decision only in its
+  own memory: every prepare record and every commit/abort decision is an
+  ordinary replicated write (key ``__txn__/p/<txid>`` resp.
+  ``__txn__/c/<txid>``) that commits through the participant shard's
+  consensus protocol before the coordinator acts on it.  A coordinator
+  crash therefore leaves the full recovery state in the shards:
+  :meth:`ShardRouter.recover` reads the markers back *through consensus*
+  and completes the transaction — commit everywhere if any participant
+  logged a commit decision, presumed-abort otherwise.
+
+The prepare record's value is a JSON blob carrying the transaction id, the
+full participant list and the shard's own writes, so any recovering
+coordinator can finish the transaction from the shards alone.  Transaction
+control records live under the reserved ``__txn__/`` key prefix; data keys
+must not use it.
+
+2PC gives *atomicity* (all participants converge on one outcome, and data
+writes are applied exactly when that outcome is commit), not isolation:
+between the per-shard commit applications a reader can observe one shard's
+writes before another's.  Per-shard single-key linearizability is
+unaffected, which is exactly what the verification suite checks.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.canopus.messages import ClientReply, ClientRequest, RequestType
+from repro.shard.cluster import ShardedCluster
+
+__all__ = ["ShardRouter", "TXN_PREPARE_PREFIX", "TXN_COMMIT_PREFIX", "txn_marker_kind"]
+
+#: Reserved key prefixes of the transaction control records.
+TXN_PREPARE_PREFIX = "__txn__/p/"
+TXN_COMMIT_PREFIX = "__txn__/c/"
+
+
+def txn_marker_kind(key: str) -> Optional[str]:
+    """``"prepare"`` / ``"decision"`` when ``key`` is a txn control record."""
+    if key.startswith(TXN_PREPARE_PREFIX):
+        return "prepare"
+    if key.startswith(TXN_COMMIT_PREFIX):
+        return "decision"
+    return None
+
+
+@dataclass
+class _Txn:
+    """Coordinator-side state of one multi-key transaction."""
+
+    txid: str
+    client_id: str
+    writes_by_shard: Dict[str, Dict[str, str]]
+    participants: List[str]
+    phase: str = "prepare"  # prepare -> decide -> done
+    outcome: Optional[str] = None  # "commit" | "abort"
+    prepared: Set[str] = field(default_factory=set)
+    pending_acks: int = 0
+
+
+@dataclass
+class _Recovery:
+    """State of one in-flight :meth:`ShardRouter.recover` pass."""
+
+    txid: str
+    phase: str = "read"  # read -> complete -> done
+    prepare_values: Dict[str, Optional[str]] = field(default_factory=dict)
+    decision_values: Dict[str, Optional[str]] = field(default_factory=dict)
+    reads_pending: int = 0
+    pending_acks: int = 0
+    outcome: Optional[str] = None
+    on_done: Optional[Callable[[str, Optional[str]], None]] = None
+
+
+class ShardRouter:
+    """Routes client operations onto a :class:`ShardedCluster`."""
+
+    def __init__(
+        self,
+        cluster: ShardedCluster,
+        name: str = "router",
+        on_transaction_complete: Optional[Callable[[str, str], None]] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.name = name
+        self.on_transaction_complete = on_transaction_complete
+        self.crashed = False
+        self._txn_counter = 0
+        self._txns: Dict[str, _Txn] = {}
+        self._recoveries: Dict[str, _Recovery] = {}
+        #: request id -> (kind, txid, shard); kinds: prepare, decide, data,
+        #: single, recover-prepare, recover-decision, recover-ack.
+        self._tracked: Dict[int, Tuple[str, str, str]] = {}
+        self.stats: Dict[str, int] = {
+            "single_key_ops": 0,
+            "txns_started": 0,
+            "txns_committed": 0,
+            "txns_aborted": 0,
+            "txns_recovered": 0,
+            "control_writes": 0,
+        }
+        cluster.add_reply_listener(self._on_reply)
+
+    # ------------------------------------------------------------------
+    # Single-key path
+    # ------------------------------------------------------------------
+    def submit(self, request: ClientRequest) -> str:
+        """Route one single-key request; returns the owning shard id."""
+        if txn_marker_kind(request.key) is not None:
+            raise ValueError(f"{request.key!r} uses the reserved __txn__/ prefix")
+        self.stats["single_key_ops"] += 1
+        return self.cluster.submit(request)
+
+    def target_for_key(self, key: str) -> str:
+        """Intake node for ``key`` (workload clients send over the network)."""
+        return self.cluster.target_for_key(key)
+
+    # ------------------------------------------------------------------
+    # Multi-key transactions
+    # ------------------------------------------------------------------
+    def submit_transaction(self, writes: Dict[str, str], client_id: str = "txn") -> str:
+        """Atomically apply ``writes`` (a ``{key: value}`` map); returns the txid.
+
+        Single-shard transactions skip 2PC — one consensus log already
+        orders them atomically.  Cross-shard transactions run the prepare /
+        decide protocol described in the module docstring.
+        """
+        if not writes:
+            raise ValueError("transaction must contain at least one write")
+        for key in writes:
+            if txn_marker_kind(key) is not None:
+                raise ValueError(f"{key!r} uses the reserved __txn__/ prefix")
+        txid = f"{self.name}-t{self._txn_counter}"
+        self._txn_counter += 1
+        grouped = self.cluster.partitioner.group_by_shard(writes)
+        writes_by_shard = {
+            shard: {key: writes[key] for key in keys} for shard, keys in grouped.items()
+        }
+        txn = _Txn(
+            txid=txid,
+            client_id=client_id,
+            writes_by_shard=writes_by_shard,
+            participants=sorted(writes_by_shard),
+        )
+        self._txns[txid] = txn
+        self.stats["txns_started"] += 1
+
+        if len(txn.participants) == 1:
+            # Fast path: a single shard's log is already atomic.
+            txn.phase = "decide"
+            txn.outcome = "commit"
+            shard = txn.participants[0]
+            for key, value in writes_by_shard[shard].items():
+                self._submit_tracked(shard, txid, "data", RequestType.WRITE, key, value, txn.client_id)
+                txn.pending_acks += 1
+            return txid
+
+        for shard in txn.participants:
+            record = json.dumps(
+                {
+                    "txid": txid,
+                    "participants": txn.participants,
+                    "writes": writes_by_shard[shard],
+                },
+                sort_keys=True,
+            )
+            self._submit_tracked(
+                shard, txid, "prepare", RequestType.WRITE, TXN_PREPARE_PREFIX + txid, record, txn.client_id
+            )
+        return txid
+
+    def abort(self, txid: str) -> None:
+        """Abort a transaction that has not yet reached a decision."""
+        txn = self._txns[txid]
+        if txn.phase != "prepare":
+            raise ValueError(f"transaction {txid} already decided ({txn.outcome})")
+        self._decide(txn, "abort")
+
+    def crash(self) -> None:
+        """Simulate a coordinator crash: stop reacting to replies.
+
+        Prepare records already submitted keep committing in the shards'
+        consensus logs — exactly the dangling state :meth:`recover` exists
+        to resolve.
+        """
+        self.crashed = True
+
+    def pending_transactions(self) -> List[str]:
+        return [txid for txid, txn in self._txns.items() if txn.phase != "done"]
+
+    def transaction_ids(self) -> List[str]:
+        """Ids of every transaction this coordinator has started."""
+        return list(self._txns)
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def recover(
+        self, txid: str, on_done: Optional[Callable[[str, Optional[str]], None]] = None
+    ) -> None:
+        """Resolve ``txid`` from the shards' replicated state.
+
+        Reads every shard's prepare and decision markers *through the
+        consensus protocols*, then completes the transaction: if any
+        participant logged a commit decision the transaction commits
+        everywhere (the original coordinator only decides commit once every
+        participant's prepare committed, so every participant holds a
+        prepare record with its writes); otherwise the transaction is
+        presumed aborted and abort markers are logged at every prepared
+        shard.  Run the simulator after calling this; ``on_done(txid,
+        outcome)`` fires when recovery completes (outcome ``None`` when no
+        shard ever saw the transaction).
+        """
+        recovery = _Recovery(txid=txid, on_done=on_done)
+        self._recoveries[txid] = recovery
+        for shard in self.cluster.shard_ids:
+            for kind, key_prefix in (
+                ("recover-prepare", TXN_PREPARE_PREFIX),
+                ("recover-decision", TXN_COMMIT_PREFIX),
+            ):
+                self._submit_tracked(
+                    shard, txid, kind, RequestType.READ, key_prefix + txid, None, self.name
+                )
+                recovery.reads_pending += 1
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _submit_tracked(
+        self,
+        shard: str,
+        txid: str,
+        kind: str,
+        op: RequestType,
+        key: str,
+        value: Optional[str],
+        client_id: str,
+    ) -> None:
+        request = ClientRequest(client_id=client_id, op=op, key=key, value=value)
+        self._tracked[request.request_id] = (kind, txid, shard)
+        if op is RequestType.WRITE and txn_marker_kind(key) is not None:
+            self.stats["control_writes"] += 1
+        # All of a transaction's requests at one shard go to the *same*
+        # intake replica (keyed by txid), so the decision marker enters the
+        # consensus log before the data writes it authorizes.
+        node = self.cluster.intake_node(shard, txid)
+        self.cluster.shards[shard].submit(request, node_id=node)
+
+    def _on_reply(self, shard: str, reply: ClientReply) -> None:
+        if self.crashed:
+            return
+        info = self._tracked.pop(reply.request_id, None)
+        if info is None:
+            return
+        kind, txid, reply_shard = info
+        if kind.startswith("recover"):
+            self._on_recovery_reply(kind, txid, reply_shard, reply)
+            return
+        txn = self._txns.get(txid)
+        if txn is None or txn.phase == "done":
+            return
+        if kind == "prepare":
+            txn.prepared.add(reply_shard)
+            if txn.phase == "prepare" and txn.prepared == set(txn.participants):
+                self._decide(txn, "commit")
+        elif kind in ("decide", "data"):
+            txn.pending_acks -= 1
+            if txn.pending_acks == 0:
+                self._finish(txn)
+
+    def _decide(self, txn: _Txn, outcome: str) -> None:
+        txn.phase = "decide"
+        txn.outcome = outcome
+        for shard in txn.participants:
+            self._submit_tracked(
+                shard, txn.txid, "decide", RequestType.WRITE, TXN_COMMIT_PREFIX + txn.txid, outcome, txn.client_id
+            )
+            txn.pending_acks += 1
+            if outcome == "commit":
+                for key, value in txn.writes_by_shard[shard].items():
+                    self._submit_tracked(
+                        shard, txn.txid, "data", RequestType.WRITE, key, value, txn.client_id
+                    )
+                    txn.pending_acks += 1
+
+    def _finish(self, txn: _Txn) -> None:
+        txn.phase = "done"
+        outcome = txn.outcome or "commit"
+        self.stats["txns_committed" if outcome == "commit" else "txns_aborted"] += 1
+        if self.on_transaction_complete is not None:
+            self.on_transaction_complete(txn.txid, outcome)
+
+    # -- recovery state machine ----------------------------------------
+    def _on_recovery_reply(self, kind: str, txid: str, shard: str, reply: ClientReply) -> None:
+        recovery = self._recoveries.get(txid)
+        if recovery is None or recovery.phase == "done":
+            return
+        if kind == "recover-ack":
+            recovery.pending_acks -= 1
+            if recovery.pending_acks == 0:
+                self._finish_recovery(recovery)
+            return
+        if kind == "recover-prepare":
+            recovery.prepare_values[shard] = reply.value
+        else:
+            recovery.decision_values[shard] = reply.value
+        recovery.reads_pending -= 1
+        if recovery.reads_pending == 0:
+            self._complete_recovery(recovery)
+
+    def _complete_recovery(self, recovery: _Recovery) -> None:
+        recovery.phase = "complete"
+        prepared = {
+            shard: json.loads(value)
+            for shard, value in recovery.prepare_values.items()
+            if value is not None
+        }
+        if not prepared:
+            # No shard ever logged a prepare: nothing to resolve.
+            self._finish_recovery(recovery)
+            return
+        participants = sorted(next(iter(prepared.values()))["participants"])
+        committed = any(value == "commit" for value in recovery.decision_values.values())
+        # Presumed abort: the coordinator is gone and no participant holds a
+        # commit decision, so no participant can ever have applied the writes.
+        recovery.outcome = "commit" if committed else "abort"
+        for shard in participants:
+            if recovery.decision_values.get(shard) == recovery.outcome:
+                continue  # this shard already holds the decision
+            if recovery.outcome == "abort" and shard not in prepared:
+                # A participant whose prepare never committed holds nothing
+                # to undo; logging a decision there would fabricate a
+                # marker at a shard that never voted (atomicity property 3).
+                continue
+            self._submit_tracked(
+                shard, recovery.txid, "recover-ack", RequestType.WRITE,
+                TXN_COMMIT_PREFIX + recovery.txid, recovery.outcome, self.name,
+            )
+            recovery.pending_acks += 1
+            if recovery.outcome == "commit":
+                record = prepared.get(shard)
+                for key, value in (record["writes"] if record else {}).items():
+                    self._submit_tracked(
+                        shard, recovery.txid, "recover-ack", RequestType.WRITE, key, value, self.name
+                    )
+                    recovery.pending_acks += 1
+        if recovery.pending_acks == 0:
+            self._finish_recovery(recovery)
+
+    def _finish_recovery(self, recovery: _Recovery) -> None:
+        recovery.phase = "done"
+        self.stats["txns_recovered"] += 1
+        if recovery.outcome == "commit":
+            self.stats["txns_committed"] += 1
+        elif recovery.outcome == "abort":
+            self.stats["txns_aborted"] += 1
+        if recovery.on_done is not None:
+            recovery.on_done(recovery.txid, recovery.outcome)
+
+
+# ----------------------------------------------------------------------
+# Atomicity snapshot extraction (feeds repro.verify.atomicity)
+# ----------------------------------------------------------------------
+def collect_txn_states(
+    cluster: ShardedCluster,
+    txids: List[str],
+    settle_s: float = 2.0,
+):
+    """Snapshot every shard's durable view of ``txids``, via consensus reads.
+
+    Issues READ requests for each transaction's prepare and decision
+    markers on *every* shard, runs the simulator to quiescence, then reads
+    the data keys named by the discovered prepare records.  Everything goes
+    through the shard protocols' normal read paths, so the snapshot works
+    for any registry protocol and reflects exactly what a recovering
+    coordinator could learn.  Returns ``{txid: {shard_id: ShardTxnState}}``
+    ready for :func:`repro.verify.atomicity.check_cross_shard_atomicity`.
+
+    Only usable on a simulated topology (it drives the simulator); the
+    asyncio substrate would need an awaiting variant.
+    """
+    from repro.verify.atomicity import ShardTxnState
+
+    simulator = cluster.topology.simulator
+    states: Dict[str, Dict[str, "ShardTxnState"]] = {
+        txid: {shard: ShardTxnState() for shard in cluster.shard_ids} for txid in txids
+    }
+    values: Dict[int, Optional[str]] = {}
+
+    def listen(_shard: str, reply: ClientReply) -> None:
+        if reply.request_id in expected:
+            values[reply.request_id] = reply.value
+
+    expected: Dict[int, Tuple[str, str, str]] = {}
+    cluster.add_reply_listener(listen)
+
+    def read(shard: str, key: str, tag: Tuple[str, str, str]) -> None:
+        request = ClientRequest(client_id="txn-inspect", op=RequestType.READ, key=key)
+        expected[request.request_id] = tag
+        cluster.shards[shard].submit(request, node_id=cluster.intake_node(shard, key))
+
+    # Round 1: control markers everywhere.
+    for txid in txids:
+        for shard in cluster.shard_ids:
+            read(shard, TXN_PREPARE_PREFIX + txid, (txid, shard, "prepare"))
+            read(shard, TXN_COMMIT_PREFIX + txid, (txid, shard, "decision"))
+    simulator.run_until(simulator.now + settle_s)
+    for request_id, (txid, shard, kind) in list(expected.items()):
+        value = values.get(request_id)
+        if kind == "prepare":
+            states[txid][shard].prepare = value
+        else:
+            states[txid][shard].decision = value
+
+    # Round 2: the data keys each prepare record names.
+    expected.clear()
+    for txid in txids:
+        for shard, state in states[txid].items():
+            if state.prepare is None:
+                continue
+            for key in json.loads(state.prepare)["writes"]:
+                read(shard, key, (txid, shard, key))
+    simulator.run_until(simulator.now + settle_s)
+    for request_id, (txid, shard, key) in expected.items():
+        states[txid][shard].data[key] = values.get(request_id)
+    cluster.remove_reply_listener(listen)
+    return states

@@ -127,6 +127,18 @@ class Topology:
             worst = max(worst, demand / RACK_UPLINK_BPS)
         return worst
 
+    def make_runtime(self, node_id: str):
+        """Bind ``node_id``'s host to a fresh :class:`SimRuntime`.
+
+        Protocol builders construct their per-node runtimes through this
+        hook instead of instantiating ``SimRuntime`` directly, so the same
+        builders run unchanged on any substrate that offers a topology-like
+        view (see :class:`repro.runtime.asyncio_runtime.AsyncioTopology`).
+        """
+        from repro.runtime.sim_runtime import SimRuntime
+
+        return SimRuntime(self.simulator, self.network, self.network.hosts[node_id])
+
 
 def _default_cpu() -> CpuModel:
     return CpuModel(per_message_s=4e-6, per_byte_s=1e-9)

@@ -1,0 +1,126 @@
+"""Cross-shard transaction atomicity checking.
+
+The sharded layer (:mod:`repro.shard`) replicates every two-phase-commit
+decision through the participant shards' consensus logs as reserved-key
+writes (``__txn__/p/<txid>`` prepare records, ``__txn__/c/<txid>``
+commit/abort decisions).  At quiescence the shards therefore hold a
+complete, durable account of every transaction, and atomicity becomes a
+checkable property of that state:
+
+1. **Participant agreement** — every prepare record of a transaction names
+   the same participant set.
+2. **Decision agreement** — no two shards hold conflicting decisions, and
+   the set of shards holding a *commit* decision is all participants or
+   none of them (all-or-nothing).
+3. **Decisions are grounded** — a shard holding a decision also holds the
+   transaction's prepare record (a decision cannot materialize at a shard
+   that never voted).
+4. **Effects match the outcome** — a committed transaction's writes are
+   present at their owning shards; an aborted (or undecided) transaction's
+   writes never became visible.
+
+The checker is pure: it consumes :class:`ShardTxnState` snapshots — how
+those are gathered (store reads, log scans, consensus reads) is the
+caller's concern; :func:`repro.shard.router.collect_txn_states` gathers
+them through the shards' own consensus protocols.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["ShardTxnState", "check_cross_shard_atomicity"]
+
+
+@dataclass
+class ShardTxnState:
+    """One shard's durable view of one transaction, at quiescence."""
+
+    #: Raw JSON of the shard's prepare record, or ``None`` if never prepared.
+    prepare: Optional[str] = None
+    #: ``"commit"``, ``"abort"``, or ``None`` if no decision was logged.
+    decision: Optional[str] = None
+    #: Observed value of each data key the transaction writes at this shard.
+    data: Dict[str, Optional[str]] = field(default_factory=dict)
+
+
+def _parse_prepare(raw: str) -> Tuple[List[str], Dict[str, str]]:
+    record = json.loads(raw)
+    return sorted(record["participants"]), dict(record["writes"])
+
+
+def check_cross_shard_atomicity(
+    transactions: Dict[str, Dict[str, ShardTxnState]],
+) -> Tuple[bool, str]:
+    """Check properties 1–4 for every transaction; returns ``(ok, message)``.
+
+    ``transactions`` maps each transaction id to ``{shard_id:
+    ShardTxnState}`` covering at least the transaction's participants.
+
+    Effect checks (property 4) identify a transaction's write by its
+    ``(key, value)`` pair, so workloads driving the checker should give
+    distinct transactions distinct values for contended keys (the built-in
+    workload generator does); a committed write later overwritten by
+    another transaction still counts as applied (the key stays present).
+    """
+    for txid, shards in transactions.items():
+        prepared = {
+            shard: _parse_prepare(state.prepare)
+            for shard, state in shards.items()
+            if state.prepare is not None
+        }
+        decisions = {
+            shard: state.decision for shard, state in shards.items() if state.decision is not None
+        }
+
+        # 3. Decisions are grounded in a prepare vote.
+        for shard in decisions:
+            if shard not in prepared:
+                return False, f"txn {txid}: shard {shard} logged a decision without a prepare"
+
+        if not prepared:
+            if decisions:
+                return False, f"txn {txid}: decisions exist but no shard prepared"
+            continue  # transaction never reached any shard: vacuously atomic
+
+        # 1. Participant agreement across prepare records.
+        participant_sets = {tuple(participants) for participants, _ in prepared.values()}
+        if len(participant_sets) != 1:
+            return False, f"txn {txid}: prepare records disagree on participants: {participant_sets}"
+        participants = set(next(iter(participant_sets)))
+        if not set(prepared) <= participants:
+            rogue = sorted(set(prepared) - participants)
+            return False, f"txn {txid}: non-participant shards {rogue} hold prepare records"
+
+        # 2. Decision agreement / all-or-nothing.
+        outcomes = set(decisions.values())
+        if len(outcomes) > 1:
+            return False, f"txn {txid}: conflicting decisions {decisions}"
+        committed_shards = {shard for shard, outcome in decisions.items() if outcome == "commit"}
+        if committed_shards and committed_shards != participants:
+            missing = sorted(participants - committed_shards)
+            return (
+                False,
+                f"txn {txid}: committed at {sorted(committed_shards)} but not at {missing}",
+            )
+
+        # 4. Effects match the outcome.
+        committed = bool(committed_shards)
+        for shard, (_, writes) in prepared.items():
+            state = shards[shard]
+            for key, value in writes.items():
+                observed = state.data.get(key)
+                if committed and observed is None:
+                    return (
+                        False,
+                        f"txn {txid}: committed but write {key!r} missing at shard {shard}",
+                    )
+                if not committed and observed == value:
+                    return (
+                        False,
+                        f"txn {txid}: not committed yet write {key!r}={value!r} "
+                        f"is visible at shard {shard}",
+                    )
+    return True, f"{len(transactions)} transactions atomic"

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.canopus.messages import ClientReply, ClientRequest, RequestType
 from repro.metrics.collector import MetricsCollector
@@ -36,6 +36,7 @@ class ClientProcess:
     outstanding: int = 0
     sent: int = 0
     completed: int = 0
+    txns_sent: int = 0
 
 
 class ClientHostAgent:
@@ -49,6 +50,10 @@ class ClientHostAgent:
         collector: MetricsCollector,
         rng: Optional[random.Random] = None,
         open_loop: bool = True,
+        route_key: Optional[Callable[[str], str]] = None,
+        submit_txn: Optional[Callable[[str, Dict[str, str]], None]] = None,
+        multi_key_ratio: float = 0.0,
+        multi_key_span: int = 2,
     ) -> None:
         self.runtime = runtime
         self.transport = runtime.transport
@@ -57,6 +62,15 @@ class ClientHostAgent:
         self.collector = collector
         self.rng = rng or runtime.rng
         self.open_loop = open_loop
+        #: Shard-aware routing: maps a key to the node that should serve it
+        #: (sharded deployments); ``None`` keeps the per-process binding.
+        self.route_key = route_key
+        #: Coordinator hook for multi-key operations: called with
+        #: ``(client_id, {key: value})``; the coordinator (a ShardRouter)
+        #: runs two-phase commit across the owning shards.
+        self.submit_txn = submit_txn
+        self.multi_key_ratio = multi_key_ratio if submit_txn is not None else 0.0
+        self.multi_key_span = multi_key_span
         self._inflight: Dict[int, ClientProcess] = {}
         self.running = False
         runtime.set_handler(self.on_message)
@@ -88,6 +102,9 @@ class ClientHostAgent:
         self._schedule_next(process)
 
     def _send_request(self, process: ClientProcess) -> None:
+        if self.multi_key_ratio > 0.0 and self.rng.random() < self.multi_key_ratio:
+            self._send_transaction(process)
+            return
         is_write = self.rng.random() < process.write_ratio
         request = ClientRequest(
             client_id=process.process_id,
@@ -100,7 +117,23 @@ class ClientHostAgent:
         process.outstanding += 1
         process.sent += 1
         self.collector.record_submit(request)
-        self.transport.send(process.target_node, request, request.wire_size())
+        target = self.route_key(request.key) if self.route_key is not None else process.target_node
+        self.transport.send(target, request, request.wire_size())
+
+    def _send_transaction(self, process: ClientProcess) -> None:
+        """Hand a multi-key write set to the 2PC coordinator.
+
+        The coordinator submits through the shard protocols directly (a
+        client-library coordinator), so transactions are not recorded in the
+        per-request metrics collector; their completions are counted by the
+        router's own stats and the per-shard reply stream.
+        """
+        writes = {
+            key: self.keyspace.next_value()
+            for key in self.keyspace.next_txn_keys(self.multi_key_span)
+        }
+        process.txns_sent += 1
+        self.submit_txn(process.process_id, writes)
 
     # ------------------------------------------------------------------
     def on_message(self, sender: str, message: object) -> None:
@@ -122,3 +155,6 @@ class ClientHostAgent:
 
     def total_completed(self) -> int:
         return sum(process.completed for process in self.processes)
+
+    def total_txns_sent(self) -> int:
+        return sum(process.txns_sent for process in self.processes)

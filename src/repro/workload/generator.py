@@ -34,6 +34,11 @@ class WorkloadConfig:
     open_loop: bool = True
     #: Maximum outstanding requests per client process.
     max_outstanding: int = 8
+    #: Fraction of operations that are multi-key transactions (sharded
+    #: deployments only; requires a router, ignored otherwise).
+    multi_key_ratio: float = 0.0
+    #: Keys touched by each multi-key transaction.
+    multi_key_span: int = 2
     seed: int = 1
 
 
@@ -43,11 +48,24 @@ class WorkloadGenerator:
     Client processes are spread uniformly over the topology's client hosts
     and each process is bound to a uniformly-selected server in the same
     rack (single-DC) or the same datacenter (multi-DC), matching §8.1/§8.2.
+
+    Passing a :class:`repro.shard.router.ShardRouter` (anything exposing
+    ``target_for_key`` and ``submit_transaction``) makes the workload
+    shard-aware: each single-key request is sent to its owning shard's
+    intake replica instead of the process's fixed binding, and a
+    ``multi_key_ratio`` fraction of operations become cross-shard
+    transactions driven through the router's 2PC coordinator.
     """
 
-    def __init__(self, topology: Topology, config: Optional[WorkloadConfig] = None) -> None:
+    def __init__(
+        self,
+        topology: Topology,
+        config: Optional[WorkloadConfig] = None,
+        router: Optional[object] = None,
+    ) -> None:
         self.topology = topology
         self.config = config or WorkloadConfig()
+        self.router = router
         self.collector = MetricsCollector()
         self.agents: List[ClientHostAgent] = []
         self.rng = random.Random(self.config.seed)
@@ -78,6 +96,14 @@ class WorkloadGenerator:
             )
             processes_by_host[client_host].append(process)
 
+        route_key = getattr(self.router, "target_for_key", None)
+        submit_txn = None
+        if self.router is not None and self.config.multi_key_ratio > 0.0:
+            router = self.router
+
+            def submit_txn(client_id: str, writes: Dict[str, str]) -> None:
+                router.submit_transaction(writes, client_id=client_id)
+
         for host_name, processes in processes_by_host.items():
             if not processes:
                 continue
@@ -92,6 +118,10 @@ class WorkloadGenerator:
                 # would make the "same seed" workload differ between runs.
                 rng=random.Random(self.config.seed + zlib.crc32(host_name.encode("utf-8")) % 1000),
                 open_loop=self.config.open_loop,
+                route_key=route_key,
+                submit_txn=submit_txn,
+                multi_key_ratio=self.config.multi_key_ratio,
+                multi_key_span=self.config.multi_key_span,
             )
             self.agents.append(agent)
         return self.collector
@@ -124,3 +154,6 @@ class WorkloadGenerator:
 
     def total_completed(self) -> int:
         return sum(agent.total_completed() for agent in self.agents)
+
+    def total_txns_sent(self) -> int:
+        return sum(agent.total_txns_sent() for agent in self.agents)

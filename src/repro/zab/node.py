@@ -26,7 +26,6 @@ from repro.canopus.messages import ClientReply, ClientRequest
 from repro.kvstore.persistence import PersistenceModel, StorageDevice
 from repro.kvstore.store import KVStore
 from repro.runtime.base import Runtime, Timer
-from repro.runtime.sim_runtime import SimRuntime
 from repro.sim.topology import Topology
 from repro.zab.messages import WriteForward, ZabAck, ZabCommit, ZabInform, ZabProposal
 
@@ -322,8 +321,7 @@ def build_zab_sim_cluster(
     observers = servers[len(voting):]
     cluster = ZabCluster(leader_id=leader_id, config=config)
     for node_id in servers:
-        host = topology.network.hosts[node_id]
-        runtime = SimRuntime(topology.simulator, topology.network, host)
+        runtime = topology.make_runtime(node_id)
         if node_id == leader_id:
             role = ZabRole.LEADER
         elif node_id in voting:

@@ -1,6 +1,7 @@
 """Tests for the runtime abstraction (sim and asyncio backends)."""
 
 import asyncio
+import time
 
 import pytest
 
@@ -144,3 +145,53 @@ class TestAsyncioCluster:
         cluster.run(asyncio.sleep(0.05))
         cluster.close()
         assert fired == [True]
+
+    def test_multicast_fans_out_concurrently(self):
+        """The gather-based fan-out delivers to every destination once.
+
+        Per-destination latencies elapse concurrently: with equal latency
+        to ten peers, the whole group arrives in roughly one latency, not
+        ten stacked ones (the old sequential fallback still satisfied this
+        because each send got its own task; the gather path must too).
+        """
+        cluster = AsyncioCluster(default_latency_s=0.02)
+        a = cluster.add_node("a")
+        peers = [f"p{i}" for i in range(10)]
+        received = []
+        for peer in peers:
+            runtime = cluster.add_node(peer)
+            runtime.set_handler(lambda s, m, _peer=peer: received.append((_peer, s, m)))
+        start = time.monotonic()
+        a.multicast(peers, "payload")
+        cluster.run(cluster.settle(timeout_s=2.0))
+        elapsed = time.monotonic() - start
+        cluster.close()
+        assert sorted(p for p, _, _ in received) == sorted(peers)
+        assert all(s == "a" and m == "payload" for _, s, m in received)
+        assert elapsed < 10 * 0.02  # concurrent, not sequential latencies
+
+    def test_multicast_skips_unknown_destinations(self):
+        cluster = AsyncioCluster(default_latency_s=0.0)
+        a = cluster.add_node("a")
+        b = cluster.add_node("b")
+        received = []
+        b.set_handler(lambda s, m: received.append(m))
+        a.multicast(["b", "ghost"], "x")
+        cluster.run(cluster.settle(timeout_s=1.0))
+        cluster.close()
+        assert received == ["x"]
+        assert cluster.messages_delivered == 1
+
+    def test_transport_broadcast_routes_through_multicast(self):
+        """Protocol-level broadcast uses the concurrent fan-out and counters."""
+        cluster = AsyncioCluster(default_latency_s=0.0)
+        a = cluster.add_node("a")
+        received = []
+        for peer in ("b", "c"):
+            cluster.add_node(peer).set_handler(lambda s, m, _p=peer: received.append(_p))
+        a.transport.broadcast(["a", "b", "c"], "payload", size_bytes=100)
+        cluster.run(cluster.settle(timeout_s=1.0))
+        cluster.close()
+        assert sorted(received) == ["b", "c"]  # self excluded
+        assert a.transport.messages_sent == 2
+        assert a.transport.bytes_sent == 200
