@@ -313,6 +313,9 @@ class PerfPoint:
     shard_count: int = 1
     #: Fraction of ops that are cross-shard transactions (sharded points).
     multi_key_ratio: float = 0.0
+    #: Fraction of the multi-key ops that are snapshot reads (sharded
+    #: points; the CLI ``--reads`` flag overrides it).
+    txn_read_ratio: float = 0.0
 
     def profile(self) -> ExperimentProfile:
         return ExperimentProfile(
@@ -348,10 +351,12 @@ PERF_POINTS: Dict[str, PerfPoint] = {
         client_processes=18,
         repeats=3,
     ),
-    # Two canopus shards over 6 hosts with a cross-shard transaction mix:
-    # tracks the host-side cost of the sharded path (partitioner routing,
-    # per-shard groups, 2PC coordinator) and pins its modelled behaviour
-    # via the commit-log digest, cheaply enough for every CI run.
+    # Two canopus shards over 6 hosts with a cross-shard transaction mix
+    # (30% of the multi-key ops are snapshot reads, so the fenced read path
+    # is on the measured profile): tracks the host-side cost of the sharded
+    # path (partitioner routing, per-shard groups, 2PC coordinator, read
+    # fences) and pins its modelled behaviour via the commit-log digest,
+    # cheaply enough for every CI run.
     "shard-smoke": PerfPoint(
         label="canopus-2shard-smoke",
         system="canopus",
@@ -362,9 +367,39 @@ PERF_POINTS: Dict[str, PerfPoint] = {
         measure_s=0.2,
         client_processes=18,
         multi_key_ratio=0.05,
+        txn_read_ratio=0.3,
         repeats=3,
     ),
 }
+
+
+def measure_host_calibration(ops: int = 120_000, repeats: int = 3) -> float:
+    """Measure this host's speed on a fixed, repo-independent micro-kernel.
+
+    The kernel mirrors the simulator's operation mix — tuple heap churn plus
+    dict updates — but deliberately uses only the standard library, so
+    optimizing (or regressing) the simulator never moves the calibration
+    number.  Perf gates divide a run's events/second by this figure to get a
+    hardware-independent ratio: the committed baseline can then be recorded
+    on a fast dev machine and still gate correctly on a slower CI runner.
+    Returns the best ops/second over ``repeats`` runs (least noisy).
+    """
+    import heapq
+
+    best = 0.0
+    for _ in range(max(1, repeats)):
+        heap: List[Tuple[float, int]] = []
+        state: Dict[int, int] = {}
+        start = time.perf_counter()
+        for index in range(ops):
+            heapq.heappush(heap, ((index * 2654435761) % 1000003 / 1000003.0, index))
+            state[index & 1023] = index
+            if len(heap) > 512:
+                heapq.heappop(heap)
+        elapsed = time.perf_counter() - start
+        if elapsed > 0:
+            best = max(best, ops / elapsed)
+    return round(best)
 
 
 def _commit_log_sha256(logs: Dict[str, List[int]]) -> str:
@@ -405,6 +440,7 @@ def run_perf_tracking(point: PerfPoint) -> Dict[str, Any]:
             rate_hz=point.rate_hz,
             write_ratio=point.write_ratio,
             multi_key_ratio=point.multi_key_ratio,
+            txn_read_ratio=point.txn_read_ratio,
             client_processes=point.client_processes,
             warmup_s=point.warmup_s,
             measure_s=point.measure_s,
@@ -463,6 +499,7 @@ def run_perf_tracking(point: PerfPoint) -> Dict[str, Any]:
         "shard_count": point.shard_count,
         "rate_hz": point.rate_hz,
         "write_ratio": point.write_ratio,
+        "txn_read_ratio": point.txn_read_ratio,
         "seed": point.seed,
         "wall_s": round(best_wall, 4),
         "events": events,
@@ -470,6 +507,7 @@ def run_perf_tracking(point: PerfPoint) -> Dict[str, Any]:
         "peak_heap_bytes": peak_heap,
         "requests_completed": completed,
         "commit_log_sha256": digest,
+        "calibration_ops_per_s": measure_host_calibration(),
     }
 
 
@@ -499,6 +537,15 @@ def update_perf_report(
     entry["events_per_s_ratio_vs_baseline"] = round(
         current["events_per_s"] / baseline["events_per_s"], 3
     )
+    # Hardware-independent gate: normalize each measurement by the host
+    # calibration figure taken in the same run, so a slower CI runner than
+    # the machine that recorded the baseline cannot fail the gate spuriously.
+    if baseline.get("calibration_ops_per_s") and current.get("calibration_ops_per_s"):
+        entry["calibrated_events_per_s_ratio_vs_baseline"] = round(
+            (current["events_per_s"] / current["calibration_ops_per_s"])
+            / (baseline["events_per_s"] / baseline["calibration_ops_per_s"]),
+            3,
+        )
     if baseline.get("commit_log_sha256"):
         entry["commit_logs_match_baseline"] = (
             baseline["commit_log_sha256"] == current["commit_log_sha256"]
@@ -515,14 +562,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     ``python -m repro.bench.runner --perf-point ci-smoke --report
     BENCH_sim_hotpath.json --fail-below 0.7`` runs the point, merges it
     into the report, and exits non-zero when events/second fell below the
-    given fraction of the committed baseline.
+    given fraction of the committed baseline.  The comparison uses the
+    *calibrated* ratio whenever both measurements carry a host-calibration
+    figure (:func:`measure_host_calibration`), so the gate is insensitive
+    to the baseline having been recorded on different hardware.
+
+    ``--reads R`` overrides the point's snapshot-read mix (the fraction of
+    multi-key operations that are ``read_txn`` snapshot reads; sharded
+    points only).  Changing the mix changes modelled behaviour, so the
+    commit-log digest comparison is skipped unless the mix matches the
+    baseline's.
 
     ``python -m repro.bench.runner --shard-saturation`` instead runs the
-    sharded scaling sweep (1/2/4 Canopus shards at one saturating offered
-    rate, fixed seed), prints the report, merges it into the report file
-    under ``shard_saturation``, and fails when 4-shard committed-ops/s is
-    below ``--min-scaling`` times the single-shard point or any
-    linearizability / atomicity check fails.
+    sharded scaling sweep (a per-shard-count max-throughput search over the
+    offered-rate ladder, fixed seed), prints the report, merges it into the
+    report file under ``shard_saturation``, and fails when 4-shard
+    committed-ops/s is below ``--min-scaling`` times the single-shard
+    maximum or any linearizability / atomicity / isolation check fails.
     """
     import argparse
 
@@ -533,10 +589,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--fail-below",
         type=float,
         default=None,
-        help="fail when current events/s < this fraction of the committed baseline",
+        help="fail when current events/s < this fraction of the committed baseline "
+        "(calibration-normalized when available)",
     )
     parser.add_argument(
         "--set-baseline", action="store_true", help="re-establish the committed baseline"
+    )
+    parser.add_argument(
+        "--reads",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="override the perf point's snapshot-read mix (fraction of multi-key "
+        "ops that are read_txn snapshot reads; sharded points only)",
     )
     parser.add_argument(
         "--shard-saturation",
@@ -567,8 +632,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             fh.write("\n")
         top = str(max(int(count) for count in report["scaling_vs_single"]))
         scaling = report["scaling_vs_single"][top]
-        if not report["all_linearizable"] or not report["all_atomic"]:
-            print("ERROR: shard sweep failed verification (linearizability/atomicity)")
+        if not report["all_linearizable"] or not report["all_atomic"] or not report["all_isolated"]:
+            print("ERROR: shard sweep failed verification (linearizability/atomicity/isolation)")
+            return 2
+        if report["any_collapsed_max"]:
+            print("ERROR: a shard count collapsed even at the lowest ladder rung")
             return 2
         if scaling < args.min_scaling:
             print(f"ERROR: {top}-shard scaling {scaling:.2f}x below {args.min_scaling}x")
@@ -577,20 +645,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     point = PERF_POINTS[args.perf_point]
+    if args.reads is not None:
+        point = replace(point, txn_read_ratio=args.reads)
     current = run_perf_tracking(point)
     entry = update_perf_report(args.report, args.perf_point, current, set_baseline=args.set_baseline)
     ratio = entry["events_per_s_ratio_vs_baseline"]
+    calibrated = entry.get("calibrated_events_per_s_ratio_vs_baseline")
+    gate_ratio = calibrated if calibrated is not None else ratio
+    gate_kind = "calibrated" if calibrated is not None else "raw"
     print(
         f"{point.label}: wall={current['wall_s']}s "
         f"events/s={current['events_per_s']} "
         f"peak_heap={current['peak_heap_bytes'] / 1e6:.1f}MB "
         f"events/s ratio vs baseline={ratio}"
+        + (f" (calibrated {calibrated})" if calibrated is not None else "")
     )
-    if entry.get("commit_logs_match_baseline") is False:
+    baseline = entry["baseline"]
+    same_workload = baseline.get("txn_read_ratio", 0.0) == current.get("txn_read_ratio", 0.0)
+    if entry.get("commit_logs_match_baseline") is False and same_workload:
         print("ERROR: commit logs diverged from the committed baseline (fixed seed)")
         return 2
-    if args.fail_below is not None and ratio < args.fail_below:
-        print(f"ERROR: events/s regressed below {args.fail_below:.0%} of the committed baseline")
+    if args.fail_below is not None and gate_ratio < args.fail_below:
+        print(
+            f"ERROR: {gate_kind} events/s regressed below {args.fail_below:.0%} "
+            "of the committed baseline"
+        )
         return 1
     return 0
 

@@ -8,6 +8,11 @@ with the same workload.  :class:`ConsensusProtocol` is that shared contract:
 * client intake — :meth:`ConsensusProtocol.submit`; replies flow back
   through each node's ``on_reply`` callback and over the network to the
   submitting client host,
+* read consistency — :attr:`ConsensusProtocol.read_modes` declares the
+  read paths a protocol offers and the consistency level each provides;
+  :meth:`ConsensusProtocol.set_read_mode` switches between them.  The
+  conformance suite holds every protocol whose active mode claims
+  ``"linearizable"`` to the linearizability checker,
 * introspection — :meth:`ConsensusProtocol.stats`,
   :meth:`ConsensusProtocol.committed_log` and
   :meth:`ConsensusProtocol.is_healthy`.
@@ -42,11 +47,19 @@ class ConsensusProtocol(abc.ABC):
     #: Registry key of the protocol (set by subclasses).
     name: str = "abstract"
 
+    #: Read paths the protocol offers, mapped to the consistency level each
+    #: provides (``"linearizable"`` or ``"sequential"``); insertion order
+    #: matters — the first entry is the default mode.  The base default
+    #: describes protocols that order reads through consensus like writes
+    #: (Canopus §5 read-by-delay, EPaxos read commands).
+    read_modes: Dict[str, str] = {"replicated": "linearizable"}
+
     def __init__(self, topology: Topology, cluster: Any, stores: Optional[Dict[str, Any]] = None) -> None:
         self.topology = topology
         self.cluster = cluster
         #: Per-node replicated state machines, when the protocol exposes them.
         self.stores: Dict[str, Any] = stores or {}
+        self._read_mode = next(iter(self.read_modes))
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -69,6 +82,29 @@ class ConsensusProtocol(abc.ABC):
         """Attach a reply sink on every node (tests and examples)."""
         for node in self.nodes.values():
             node.on_reply = callback
+
+    # ------------------------------------------------------------------
+    # Read consistency
+    # ------------------------------------------------------------------
+    @property
+    def read_mode(self) -> str:
+        """The active read mode (one of :attr:`read_modes`)."""
+        return self._read_mode
+
+    def set_read_mode(self, mode: str) -> None:
+        """Switch the read path every replica serves reads with."""
+        if mode not in self.read_modes:
+            supported = ", ".join(self.read_modes)
+            raise ValueError(f"{self.name} has no read mode {mode!r}; supported: {supported}")
+        self._read_mode = mode
+        self._apply_read_mode(mode)
+
+    def _apply_read_mode(self, mode: str) -> None:
+        """Push a read-mode change down to the nodes (protocol hook)."""
+
+    def read_consistency(self) -> str:
+        """Consistency level of the active read mode."""
+        return self.read_modes[self._read_mode]
 
     # ------------------------------------------------------------------
     # Topology of the deployment

@@ -9,13 +9,33 @@ string key.  Nothing in :mod:`repro.bench` or :mod:`repro.workload` knows
 it exists, yet ``build_protocol("raft", topology)`` and every experiment,
 conformance test and determinism check work against it unchanged.
 
-The service mirrors the paper's ZooKeeper configuration in spirit: a
-single Raft group spans every server host, the first host is the initial
-leader (no cold-start election), reads are answered from the local
-replica, and writes are forwarded to the leader, which replicates them
-through the Raft log.  Replies to forwarded writes are sent by the
-forwarding node once the entry commits locally, so clients talk only to
-their own server — the same intake pattern as the other four systems.
+The service deploys a single Raft group spanning every server host, with
+the first host as the initial leader (no cold-start election).  Writes are
+forwarded to the leader, which replicates them through the Raft log;
+replies to forwarded writes are sent by the forwarding node once the entry
+commits locally, so clients talk only to their own server — the same
+intake pattern as the other four systems.
+
+Reads support three consistency modes (:class:`RaftKVConfig.read_mode`,
+switchable at runtime through ``protocol.set_read_mode``):
+
+* ``read_index`` (default, linearizable) — the Raft §6.4 read index.  A
+  follower forwards the read to the leader; the leader captures its commit
+  index and confirms its term with a heartbeat quorum
+  (:meth:`repro.raft.node.RaftNode.confirm_leadership`) before serving the
+  read from its applied state.  In this implementation entries are applied
+  the moment the commit index advances, so once the quorum confirms, the
+  leader's store already covers the captured index.
+* ``lease`` (linearizable under the lease clock assumption) — the leader
+  serves immediately while its lease
+  (:meth:`repro.raft.node.RaftNode.lease_valid`) covers the current
+  moment, and falls back to a read-index round otherwise.  Lease
+  arithmetic runs entirely in simulated time, so fixed-seed runs stay
+  byte-identical.
+* ``local`` (sequential) — the pre-fix ZooKeeper-style path: any replica
+  answers from its own store, which can serve stale values while a commit
+  is still propagating.  Kept for the paper's baseline comparison and for
+  the stale-read regression tests.
 """
 
 from __future__ import annotations
@@ -32,9 +52,18 @@ from repro.raft.node import RaftConfig, RaftNode
 from repro.runtime.base import Runtime
 from repro.sim.topology import Topology
 
-__all__ = ["RaftKVConfig", "RaftKVNode", "RaftKVCluster", "RaftKVProtocol", "build_raft_kv"]
+__all__ = ["READ_MODES", "RaftKVConfig", "RaftKVNode", "RaftKVCluster", "RaftKVProtocol", "build_raft_kv"]
 
 _GROUP_ID = "raft-kv"
+
+
+#: Read modes the service supports, mapped to their consistency level;
+#: the first entry is the default.
+READ_MODES: Dict[str, str] = {
+    "read_index": "linearizable",
+    "lease": "linearizable",
+    "local": "sequential",
+}
 
 
 @dataclass
@@ -44,6 +73,8 @@ class RaftKVConfig:
     heartbeat_interval_s: float = 0.02
     election_timeout_min_s: float = 0.15
     election_timeout_max_s: float = 0.3
+    #: One of :data:`READ_MODES`: "read_index", "lease" or "local".
+    read_mode: str = "read_index"
 
 
 @dataclass
@@ -51,6 +82,23 @@ class _WriteForward:
     """A write travelling from the intake node to the Raft leader."""
 
     origin: str
+    request: ClientRequest
+    hops: int = 0
+
+    def wire_size(self) -> int:
+        return self.request.wire_size() + 24
+
+
+@dataclass
+class _ReadForward:
+    """A read travelling from the intake node to the Raft leader.
+
+    ``client`` names the endpoint the reply must reach (the client host
+    that sent the read to the intake node); the leader replies to it
+    directly once the read is safe to serve.
+    """
+
+    client: str
     request: ClientRequest
     hops: int = 0
 
@@ -78,7 +126,18 @@ class RaftKVNode:
         self.store = KVStore()
         self.committed: List[ClientRequest] = []
         self.request_senders: Dict[int, str] = {}
-        self.stats = {"reads_served": 0, "writes_committed": 0, "forwards_sent": 0}
+        self.read_mode = self.config.read_mode
+        if self.read_mode not in READ_MODES:
+            supported = ", ".join(READ_MODES)
+            raise ValueError(f"unknown read_mode {self.read_mode!r}; supported: {supported}")
+        self.stats = {
+            "reads_served": 0,
+            "writes_committed": 0,
+            "forwards_sent": 0,
+            "read_forwards_sent": 0,
+            "read_index_rounds": 0,
+            "lease_reads_served": 0,
+        }
         self.crashed = False
 
         self.raft = RaftNode(
@@ -125,15 +184,25 @@ class RaftKVNode:
                 leader = self.raft.leader_id or self.members[0]
                 if leader != self.node_id:
                     self.transport.send(leader, message, message.wire_size())
+        elif isinstance(message, _ReadForward):
+            if self.raft.is_leader:
+                self._leader_read(message.client, message.request)
+            elif message.hops < len(self.members):
+                message.hops += 1
+                leader = self.raft.leader_id or self.members[0]
+                if leader != self.node_id:
+                    self.transport.send(leader, message, message.wire_size())
+                else:
+                    # The chase ended at a non-leader: fall back to the
+                    # serve path, which waits out the election and retries.
+                    self._serve_read(message.client, message.request)
         elif self.raft.handles(message):
             self.raft.on_message(sender, message)
 
     def _on_client_request(self, sender: str, request: ClientRequest) -> None:
         request.submitted_at = request.submitted_at or self.runtime.now()
         if request.is_read():
-            value = self.store.read(request.key)
-            self.stats["reads_served"] += 1
-            self._reply(sender, request, value)
+            self._serve_read(sender, request)
             return
         # Only writes wait for a commit, so only they need the sender map.
         self.request_senders[request.request_id] = sender
@@ -144,6 +213,62 @@ class RaftKVNode:
             forward = _WriteForward(origin=self.node_id, request=request)
             self.stats["forwards_sent"] += 1
             self.transport.send(leader, forward, forward.wire_size())
+
+    # -- Reads ----------------------------------------------------------
+    def _serve_read(self, client: str, request: ClientRequest) -> None:
+        if self.read_mode == "local":
+            # ZooKeeper-style: answer from the local replica, no matter how
+            # far behind the leader's committed state it is.
+            self._finish_read(client, request)
+            return
+        if self.raft.is_leader:
+            self._leader_read(client, request)
+            return
+        leader = self.raft.leader_id or self.members[0]
+        if leader == self.node_id:
+            # Mid-election view: we are the fallback leader by position but
+            # not (or no longer) the leader in fact.  Unlike a write — whose
+            # loss the intake pattern already tolerates — a read has no
+            # commit to anchor a reply to, so retry once the election has
+            # had time to resolve rather than dropping it.
+            self.runtime.after(
+                self.config.election_timeout_min_s,
+                lambda: None if self.crashed else self._serve_read(client, request),
+            )
+            return
+        forward = _ReadForward(client=client, request=request)
+        self.stats["read_forwards_sent"] += 1
+        self.transport.send(leader, forward, forward.wire_size())
+
+    def _leader_read(self, client: str, request: ClientRequest) -> None:
+        if self.read_mode == "lease" and self.raft.lease_valid():
+            # Clock-bound fast path: the lease rules out a rival leader, so
+            # the local committed state is the linearizable state.
+            self.stats["lease_reads_served"] += 1
+            self._finish_read(client, request)
+            return
+        # Read index: capture happens implicitly — entries are applied the
+        # moment the commit index advances, so the store already reflects
+        # every index committed before this round once the quorum confirms.
+        self.stats["read_index_rounds"] += 1
+
+        def on_confirm(confirmed: bool) -> None:
+            # A stopped node fails confirmations synchronously while still
+            # reporting is_leader — re-serving would recurse forever.
+            if self.crashed or self.raft.stopped:
+                return
+            if confirmed:
+                self._finish_read(client, request)
+            else:
+                # Leadership moved mid-round: chase the current leader.
+                self._serve_read(client, request)
+
+        self.raft.confirm_leadership(on_confirm)
+
+    def _finish_read(self, client: str, request: ClientRequest) -> None:
+        value = self.store.read(request.key)
+        self.stats["reads_served"] += 1
+        self._reply(client, request, value)
 
     # ------------------------------------------------------------------
     def _apply(self, entry: LogEntry) -> None:
@@ -203,6 +328,8 @@ class RaftKVProtocol(ConsensusProtocol):
 
     name = "raft"
 
+    read_modes = READ_MODES
+
     cluster: RaftKVCluster
 
     def committed_log(self, node_id: str) -> List[int]:
@@ -211,11 +338,15 @@ class RaftKVProtocol(ConsensusProtocol):
     def leader_id(self) -> str:
         return self.cluster.nodes[next(iter(self.cluster.nodes))].members[0]
 
+    def _apply_read_mode(self, mode: str) -> None:
+        for node in self.nodes.values():
+            node.read_mode = mode
+
 
 @register_protocol(
     "raft",
     config_cls=RaftKVConfig,
-    description="Raft-replicated KV store (single group, local reads)",
+    description="Raft-replicated KV store (single group, read-index/lease reads)",
 )
 def build_raft_kv(
     topology: Topology,
@@ -233,4 +364,5 @@ def build_raft_kv(
     cluster = RaftKVCluster(nodes=nodes, config=config)
     protocol = RaftKVProtocol(topology, cluster)
     protocol.stores = {node_id: node.store for node_id, node in nodes.items()}
+    protocol.set_read_mode(config.read_mode)
     return protocol

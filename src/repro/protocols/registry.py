@@ -46,6 +46,12 @@ class ProtocolSpec:
     factory: ProtocolFactory
     config_cls: Optional[type] = None
     description: str = ""
+    #: Consistency level of the protocol's *default* read path
+    #: ("linearizable" or "sequential").  The read-consistency conformance
+    #: suite holds every protocol claiming "linearizable" to the
+    #: linearizability checker on both substrates; "sequential" documents a
+    #: deliberately weaker read path (ZooKeeper-style local reads).
+    read_consistency: str = "linearizable"
 
 
 _REGISTRY: Dict[str, ProtocolSpec] = {}
@@ -57,6 +63,7 @@ def register_protocol(
     *,
     config_cls: Optional[type] = None,
     description: str = "",
+    read_consistency: str = "linearizable",
     replace: bool = False,
 ) -> Callable[[ProtocolFactory], ProtocolFactory]:
     """Register ``factory`` under ``name``; usable as a decorator.
@@ -72,7 +79,11 @@ def register_protocol(
         if name in _REGISTRY and not replace:
             raise ValueError(f"protocol {name!r} is already registered")
         _REGISTRY[name] = ProtocolSpec(
-            name=name, factory=fn, config_cls=config_cls, description=description
+            name=name,
+            factory=fn,
+            config_cls=config_cls,
+            description=description,
+            read_consistency=read_consistency,
         )
         return fn
 

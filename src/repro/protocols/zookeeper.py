@@ -18,6 +18,12 @@ class ZooKeeperProtocol(ConsensusProtocol):
 
     name = "zookeeper"
 
+    #: ZooKeeper deliberately answers reads from the local replica — the
+    #: paper's baseline configuration.  The registry therefore declares it
+    #: ``sequential``; a linearizable read would need a ``sync`` barrier,
+    #: which the comparison does not model.
+    read_modes = {"local": "sequential"}
+
     cluster: ZabCluster
 
     def committed_log(self, node_id: str) -> List[int]:
@@ -31,6 +37,7 @@ class ZooKeeperProtocol(ConsensusProtocol):
     "zookeeper",
     config_cls=ZabConfig,
     description="ZooKeeper: Zab leader + followers + observers (Figure 5)",
+    read_consistency="sequential",
 )
 def build_zookeeper(
     topology: Topology,

@@ -44,7 +44,16 @@ class RequestVoteReply:
 
 @dataclass
 class AppendEntries:
-    """Leader log replication / heartbeat (Raft §5.3)."""
+    """Leader log replication / heartbeat (Raft §5.3).
+
+    ``probe`` numbers the leader's replication rounds; followers echo it in
+    their reply so the leader can tell which of its broadcasts a given ack
+    answers.  Read-index reads (§6.4) and leader leases are built on that:
+    a majority of echoes ``>= S`` confirms the leader's term *after* round
+    ``S`` was sent.  The sequence number rides inside the existing header
+    (``wire_size`` is unchanged), so adding it does not perturb modelled
+    timing.
+    """
 
     group_id: str
     term: int
@@ -53,6 +62,7 @@ class AppendEntries:
     prev_log_term: int
     entries: Tuple[Any, ...] = ()
     leader_commit: int = 0
+    probe: int = 0
 
     def wire_size(self) -> int:
         entry_bytes = 0
@@ -72,6 +82,7 @@ class AppendEntriesReply:
     follower_id: str
     success: bool
     match_index: int
+    probe: int = 0
 
     def wire_size(self) -> int:
         return _HEADER_BYTES

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.raft.log import LogEntry, RaftLog
 from repro.raft.messages import AppendEntries, AppendEntriesReply, RequestVote, RequestVoteReply
@@ -41,6 +41,13 @@ class RaftConfig:
     #: Canopus uses this: each super-leaf member is the initial leader of
     #: its own broadcast group (§4.3).
     initial_leader: Optional[str] = None
+    #: Leader-lease length as a fraction of ``election_timeout_min_s``.
+    #: Once a majority acks a replication round, the leader holds a lease
+    #: from that round's *send* time for this fraction of the minimum
+    #: election timeout — no rival can win an election before it expires.
+    #: The margin absorbs clock drift; in the simulator all clocks are the
+    #: one simulated clock, so the arithmetic is exact and deterministic.
+    lease_fraction: float = 0.9
 
 
 class RaftNode:
@@ -78,6 +85,18 @@ class RaftNode:
         self.match_index: Dict[str, int] = {}
         self._votes: set = set()
 
+        # Leadership confirmation / lease state (read-index and lease reads).
+        #: Sequence number of the most recent replication round sent.
+        self._probe_seq = 0
+        #: Send time of each replication round not yet majority-acked.
+        self._probe_sent_at: Dict[int, float] = {}
+        #: Highest probe each peer has echoed back this term.
+        self._peer_probe: Dict[str, int] = {}
+        #: Pending (target_probe, callback) leadership confirmations.
+        self._confirmations: List[Tuple[int, Callable[[bool], None]]] = []
+        #: Simulated time until which this node's leader lease is valid.
+        self.lease_valid_until = -1.0
+
         self._election_timer: Optional[Timer] = None
         self._heartbeat_timer: Optional[Timer] = None
         self.stopped = False
@@ -113,6 +132,33 @@ class RaftNode:
             self._advance_commit_index()
         return entry
 
+    def confirm_leadership(self, callback: Callable[[bool], None]) -> None:
+        """Confirm this node is *still* the leader, via a heartbeat quorum.
+
+        Read-index reads (Raft §6.4) hinge on this: the leader captures its
+        commit index, then must hear from a majority *after* that capture
+        before serving the read, proving no higher term has elected a rival
+        (its commit index is therefore current).  ``callback(True)`` fires
+        once a majority of peers echo a replication round sent at or after
+        this call; ``callback(False)`` fires if leadership is lost first.
+
+        A single-member group confirms immediately — the node is its own
+        majority.
+        """
+        if self.stopped or not self.is_leader:
+            callback(False)
+            return
+        if not self.peers():
+            callback(True)
+            return
+        target = self._probe_seq + 1
+        self._confirmations.append((target, callback))
+        self._replicate_to_all()
+
+    def lease_valid(self) -> bool:
+        """True while this leader's lease covers the current moment."""
+        return self.is_leader and self.runtime.now() < self.lease_valid_until
+
     def handles(self, message: Any) -> bool:
         return (
             isinstance(message, (RequestVote, RequestVoteReply, AppendEntries, AppendEntriesReply))
@@ -126,6 +172,7 @@ class RaftNode:
             self._election_timer.cancel()
         if self._heartbeat_timer:
             self._heartbeat_timer.cancel()
+        self._reset_confirmation_state()
 
     def remove_member(self, member: str) -> None:
         """Drop a crashed member from the group view."""
@@ -219,6 +266,7 @@ class RaftNode:
     def _become_leader(self, initial: bool = False) -> None:
         self.role = Role.LEADER
         self.leader_id = self.node_id
+        self._reset_confirmation_state()
         if initial and self.current_term == 0:
             self.current_term = 1
         if self._election_timer:
@@ -239,6 +287,7 @@ class RaftNode:
             self._heartbeat_timer.cancel()
             self._heartbeat_timer = None
         self.role = Role.FOLLOWER
+        self._reset_confirmation_state()
         self._reset_election_timer()
 
     # -- Replication ----------------------------------------------------
@@ -254,22 +303,29 @@ class RaftNode:
         # tailored message.  Only *runs* are grouped so the per-peer send
         # order — and with it the modelled CPU/link schedule — is exactly
         # that of sequential per-peer sends.
+        probe = self._next_probe()
         default_index = self.log.last_index + 1
         run: List[str] = []
         run_index = 0
         for peer in self.peers():
             next_index = self.next_index.get(peer, default_index)
             if run and next_index != run_index:
-                message = self._append_entries_for(run_index)
+                message = self._append_entries_for(run_index, probe)
                 self.transport.broadcast(run, message, message.wire_size())
                 run = []
             run_index = next_index
             run.append(peer)
         if run:
-            message = self._append_entries_for(run_index)
+            message = self._append_entries_for(run_index, probe)
             self.transport.broadcast(run, message, message.wire_size())
 
-    def _append_entries_for(self, next_index: int) -> AppendEntries:
+    def _next_probe(self) -> int:
+        """Open a new replication round and record its send time."""
+        self._probe_seq += 1
+        self._probe_sent_at[self._probe_seq] = self.runtime.now()
+        return self._probe_seq
+
+    def _append_entries_for(self, next_index: int, probe: int = 0) -> AppendEntries:
         prev_index = next_index - 1
         prev_term = self.log.term_at(prev_index) if prev_index <= self.log.last_index else 0
         return AppendEntries(
@@ -280,11 +336,12 @@ class RaftNode:
             prev_log_term=prev_term,
             entries=self.log.entries_from(next_index),
             leader_commit=self.commit_index,
+            probe=probe,
         )
 
     def _replicate_to(self, peer: str) -> None:
         next_index = self.next_index.get(peer, self.log.last_index + 1)
-        message = self._append_entries_for(next_index)
+        message = self._append_entries_for(next_index, self._next_probe())
         self.transport.send(peer, message, message.wire_size())
 
     def _on_append_entries(self, message: AppendEntries) -> None:
@@ -310,6 +367,7 @@ class RaftNode:
             follower_id=self.node_id,
             success=success,
             match_index=match_index,
+            probe=message.probe if message.term == self.current_term else 0,
         )
         self.transport.send(message.leader_id, reply, reply.wire_size())
 
@@ -319,6 +377,10 @@ class RaftNode:
             return
         if not self.is_leader or message.term != self.current_term:
             return
+        # Any same-term reply — log match or not — confirms the follower
+        # still recognizes this leader's term as of the echoed round.
+        if message.probe:
+            self._on_probe_ack(message.follower_id, message.probe)
         if message.success:
             self.match_index[message.follower_id] = max(
                 self.match_index.get(message.follower_id, 0), message.match_index
@@ -328,6 +390,54 @@ class RaftNode:
         else:
             self.next_index[message.follower_id] = max(1, self.next_index.get(message.follower_id, 1) - 1)
             self._replicate_to(message.follower_id)
+
+    # -- Leadership confirmation / lease accounting ---------------------
+    def _majority_acked_probe(self) -> int:
+        """Highest round a majority (counting this node) has reached."""
+        peers = self.peers()
+        if not peers:
+            return self._probe_seq
+        needed = self.majority() - 1  # peers needed besides the leader itself
+        acked = sorted(self._peer_probe.get(peer, 0) for peer in peers)
+        return acked[len(acked) - needed]
+
+    def _on_probe_ack(self, follower: str, probe: int) -> None:
+        if probe <= self._peer_probe.get(follower, 0):
+            return
+        self._peer_probe[follower] = probe
+        acked = self._majority_acked_probe()
+        # Renew the lease from the *send* time of the newest round the
+        # majority covers; prune rounds the lease can no longer improve on.
+        settled = [seq for seq in self._probe_sent_at if seq <= acked]
+        if settled:
+            lease_len = self.config.lease_fraction * self.config.election_timeout_min_s
+            sent_at = self._probe_sent_at[max(settled)]
+            self.lease_valid_until = max(self.lease_valid_until, sent_at + lease_len)
+            for seq in settled:
+                del self._probe_sent_at[seq]
+        if self._confirmations:
+            ready = [cb for target, cb in self._confirmations if target <= acked]
+            if ready:
+                self._confirmations = [
+                    (target, cb) for target, cb in self._confirmations if target > acked
+                ]
+                for callback in ready:
+                    callback(True)
+
+    def _reset_confirmation_state(self) -> None:
+        """Drop probe/lease state and fail pending confirmations.
+
+        Called whenever this node stops being (or newly becomes) leader:
+        old rounds and leases belong to an old term and must not satisfy
+        new-term confirmations.
+        """
+        pending = [callback for _, callback in self._confirmations]
+        self._confirmations = []
+        self._probe_sent_at.clear()
+        self._peer_probe.clear()
+        self.lease_valid_until = -1.0
+        for callback in pending:
+            callback(False)
 
     def _advance_commit_index(self) -> None:
         for index in range(self.log.last_index, self.commit_index, -1):

@@ -23,11 +23,27 @@ coordinator can finish the transaction from the shards alone.  Transaction
 control records live under the reserved ``__txn__/`` key prefix; data keys
 must not use it.
 
-2PC gives *atomicity* (all participants converge on one outcome, and data
-writes are applied exactly when that outcome is commit), not isolation:
-between the per-shard commit applications a reader can observe one shard's
-writes before another's.  Per-shard single-key linearizability is
-unaffected, which is exactly what the verification suite checks.
+2PC alone gives *atomicity* (all participants converge on one outcome, and
+data writes are applied exactly when that outcome is commit), not
+isolation: between the per-shard commit applications a reader could observe
+one shard's writes before another's.  The router closes that window with
+**per-key fences** derived from the replicated prepare markers: from the
+moment a commit decision is submitted until every participant acked the
+decision and its data writes (the *decide window*), the transaction's keys
+are fenced.  Single-key operations on a fenced key are deferred until the
+fence lifts; decide windows of key-overlapping transactions serialize in
+FIFO order, so each key's apply order matches the coordinator's completion
+order; and :meth:`ShardRouter.read_txn` returns a multi-key *snapshot
+read* — a cut consistent with 2PC commit order, guaranteed by holding read
+fences that delay conflicting decides while the component reads are in
+flight.  ``ShardRouter(..., isolation=False)`` restores the pre-fence
+behaviour (kept so the fractured-read regression tests can reproduce the
+bug the isolation checker exists to catch).
+
+The router records every committed transaction (in completion order) in
+:attr:`ShardRouter.committed_txn_order` and every finished snapshot read in
+:attr:`ShardRouter.snapshot_reads`, ready for
+:func:`repro.verify.atomicity.check_read_isolation`.
 """
 
 from __future__ import annotations
@@ -68,6 +84,27 @@ class _Txn:
     prepared: Set[str] = field(default_factory=set)
     pending_acks: int = 0
 
+    def keys(self) -> List[str]:
+        return [key for writes in self.writes_by_shard.values() for key in writes]
+
+    def all_writes(self) -> Dict[str, str]:
+        merged: Dict[str, str] = {}
+        for writes in self.writes_by_shard.values():
+            merged.update(writes)
+        return merged
+
+
+@dataclass
+class _ReadTxn:
+    """Coordinator-side state of one in-flight multi-key snapshot read."""
+
+    read_id: str
+    client_id: str
+    keys: List[str]
+    values: Dict[str, Optional[str]] = field(default_factory=dict)
+    reads_pending: int = 0
+    on_done: Optional[Callable[[str, Dict[str, Optional[str]]], None]] = None
+
 
 @dataclass
 class _Recovery:
@@ -91,17 +128,45 @@ class ShardRouter:
         cluster: ShardedCluster,
         name: str = "router",
         on_transaction_complete: Optional[Callable[[str, str], None]] = None,
+        isolation: bool = True,
     ) -> None:
         self.cluster = cluster
         self.name = name
         self.on_transaction_complete = on_transaction_complete
+        #: Per-key decide-window fencing (snapshot reads).  ``False``
+        #: restores the pre-fence router: atomic but not isolated.
+        self.isolation = isolation
         self.crashed = False
         self._txn_counter = 0
+        self._read_counter = 0
         self._txns: Dict[str, _Txn] = {}
+        self._reads: Dict[str, _ReadTxn] = {}
         self._recoveries: Dict[str, _Recovery] = {}
         #: request id -> (kind, txid, shard); kinds: prepare, decide, data,
-        #: single, recover-prepare, recover-decision, recover-ack.
+        #: read, recover-prepare, recover-decision, recover-ack.
         self._tracked: Dict[int, Tuple[str, str, str]] = {}
+        # -- fence state (all empty when isolation is off) --------------
+        #: key -> txid of the transaction holding the decide-window fence.
+        self._key_fences: Dict[str, str] = {}
+        #: key -> number of in-flight snapshot reads covering it.
+        self._read_fences: Dict[str, int] = {}
+        #: key -> number of *waiting* commit windows needing it.  New
+        #: snapshot reads queue behind these, so a continuous read stream
+        #: cannot starve a commit out of its decide window.
+        self._pending_commit_keys: Dict[str, int] = {}
+        #: FIFO of commits waiting for their keys' fences to clear.
+        self._waiting_commits: List[_Txn] = []
+        #: FIFO of snapshot reads waiting for decide windows to close.
+        self._waiting_reads: List[_ReadTxn] = []
+        #: Single-key requests parked behind a fenced key, in arrival order.
+        self._deferred_ops: List[ClientRequest] = []
+        self._flushing = False
+        self._flush_pending = False
+        #: Committed transactions ``(txid, {key: value})`` in completion
+        #: order — the per-key version order the isolation checker uses.
+        self.committed_txn_order: List[Tuple[str, Dict[str, str]]] = []
+        #: Finished snapshot reads ``{key: observed value}``.
+        self.snapshot_reads: List[Dict[str, Optional[str]]] = []
         self.stats: Dict[str, int] = {
             "single_key_ops": 0,
             "txns_started": 0,
@@ -109,6 +174,11 @@ class ShardRouter:
             "txns_aborted": 0,
             "txns_recovered": 0,
             "control_writes": 0,
+            "read_txns_started": 0,
+            "read_txns_completed": 0,
+            "ops_fenced": 0,
+            "reads_fenced": 0,
+            "commits_fenced": 0,
         }
         cluster.add_reply_listener(self._on_reply)
 
@@ -116,9 +186,20 @@ class ShardRouter:
     # Single-key path
     # ------------------------------------------------------------------
     def submit(self, request: ClientRequest) -> str:
-        """Route one single-key request; returns the owning shard id."""
+        """Route one single-key request; returns the owning shard id.
+
+        While a committed transaction's decide window is open on
+        ``request.key`` the request is parked and routed when the fence
+        lifts, so no reader can observe one participant's applied writes
+        before another's (writes are parked too, keeping each key's apply
+        order equal to the coordinator's completion order).
+        """
         if txn_marker_kind(request.key) is not None:
             raise ValueError(f"{request.key!r} uses the reserved __txn__/ prefix")
+        if self.isolation and request.key in self._key_fences:
+            self.stats["ops_fenced"] += 1
+            self._deferred_ops.append(request)
+            return self.cluster.shard_of(request.key)
         self.stats["single_key_ops"] += 1
         return self.cluster.submit(request)
 
@@ -157,13 +238,9 @@ class ShardRouter:
         self.stats["txns_started"] += 1
 
         if len(txn.participants) == 1:
-            # Fast path: a single shard's log is already atomic.
-            txn.phase = "decide"
-            txn.outcome = "commit"
-            shard = txn.participants[0]
-            for key, value in writes_by_shard[shard].items():
-                self._submit_tracked(shard, txid, "data", RequestType.WRITE, key, value, txn.client_id)
-                txn.pending_acks += 1
+            # Fast path: a single shard's log is already atomic; the commit
+            # window (fences + data writes, no 2PC markers) opens at once.
+            self._decide(txn, "commit")
             return txid
 
         for shard in txn.participants:
@@ -204,6 +281,68 @@ class ShardRouter:
         return list(self._txns)
 
     # ------------------------------------------------------------------
+    # Multi-key snapshot reads
+    # ------------------------------------------------------------------
+    def read_txn(
+        self,
+        keys: List[str],
+        client_id: str = "reader",
+        on_done: Optional[Callable[[str, Dict[str, Optional[str]]], None]] = None,
+    ) -> str:
+        """Read ``keys`` across their shards as one consistent cut.
+
+        The read waits for any open decide window touching its keys, then
+        holds per-key read fences while the component reads are in flight —
+        a conflicting transaction cannot open its decide window until the
+        read completes, so the returned values always reflect a prefix of
+        the 2PC commit order (no fractured reads).  ``on_done(read_id,
+        {key: value})`` fires when every component read has answered; the
+        cut is also appended to :attr:`snapshot_reads`.  With ``isolation``
+        off the reads are issued immediately (the pre-fix behaviour).
+        """
+        ordered = list(dict.fromkeys(keys))
+        if not ordered:
+            raise ValueError("read_txn needs at least one key")
+        for key in ordered:
+            if txn_marker_kind(key) is not None:
+                raise ValueError(f"{key!r} uses the reserved __txn__/ prefix")
+        read_id = f"{self.name}-r{self._read_counter}"
+        self._read_counter += 1
+        read = _ReadTxn(read_id=read_id, client_id=client_id, keys=ordered, on_done=on_done)
+        self._reads[read_id] = read
+        self.stats["read_txns_started"] += 1
+        if self.isolation and any(
+            key in self._key_fences or key in self._pending_commit_keys for key in ordered
+        ):
+            self.stats["reads_fenced"] += 1
+            self._waiting_reads.append(read)
+        else:
+            self._start_read(read)
+        return read_id
+
+    def _start_read(self, read: _ReadTxn) -> None:
+        if self.isolation:
+            for key in read.keys:
+                self._read_fences[key] = self._read_fences.get(key, 0) + 1
+        # Pre-arm the full count: a shard may answer synchronously (e.g. a
+        # local-mode read served by the intake replica itself).
+        read.reads_pending = len(read.keys)
+        for key in read.keys:
+            shard = self.cluster.shard_of(key)
+            self._submit_tracked(shard, read.read_id, "read", RequestType.READ, key, None, read.client_id)
+
+    def _finish_read(self, read: _ReadTxn) -> None:
+        self._reads.pop(read.read_id, None)
+        self.stats["read_txns_completed"] += 1
+        self.snapshot_reads.append(dict(read.values))
+        if self.isolation:
+            for key in read.keys:
+                self._decrement(self._read_fences, key)
+        if read.on_done is not None:
+            read.on_done(read.read_id, dict(read.values))
+        self._flush_waiters()
+
+    # ------------------------------------------------------------------
     # Recovery
     # ------------------------------------------------------------------
     def recover(
@@ -222,6 +361,13 @@ class ShardRouter:
         outcome)`` fires when recovery completes (outcome ``None`` when no
         shard ever saw the transaction).
         """
+        # A coordinator that crashed mid-decide may still hold fences for
+        # this transaction; recovery supersedes that window entirely.
+        self._release_fences(txid)
+        for txn in [txn for txn in self._waiting_commits if txn.txid == txid]:
+            self._waiting_commits.remove(txn)
+            for key in txn.keys():
+                self._decrement(self._pending_commit_keys, key)
         recovery = _Recovery(txid=txid, on_done=on_done)
         self._recoveries[txid] = recovery
         for shard in self.cluster.shard_ids:
@@ -267,6 +413,14 @@ class ShardRouter:
         if kind.startswith("recover"):
             self._on_recovery_reply(kind, txid, reply_shard, reply)
             return
+        if kind == "read":
+            read = self._reads.get(txid)
+            if read is not None:
+                read.values[reply.key] = reply.value
+                read.reads_pending -= 1
+                if read.reads_pending == 0:
+                    self._finish_read(read)
+            return
         txn = self._txns.get(txid)
         if txn is None or txn.phase == "done":
             return
@@ -282,24 +436,138 @@ class ShardRouter:
     def _decide(self, txn: _Txn, outcome: str) -> None:
         txn.phase = "decide"
         txn.outcome = outcome
+        if outcome == "abort":
+            # Aborts apply no data writes, so nothing a reader could
+            # fracture on: log the decision markers without fencing.
+            txn.pending_acks += len(txn.participants)
+            for shard in txn.participants:
+                self._submit_tracked(
+                    shard, txn.txid, "decide", RequestType.WRITE,
+                    TXN_COMMIT_PREFIX + txn.txid, outcome, txn.client_id,
+                )
+            return
+        if self.isolation and self._commit_must_wait(txn):
+            self.stats["commits_fenced"] += 1
+            self._waiting_commits.append(txn)
+            for key in txn.keys():
+                self._pending_commit_keys[key] = self._pending_commit_keys.get(key, 0) + 1
+            return
+        self._open_commit_window(txn)
+
+    def _commit_must_wait(self, txn: _Txn) -> bool:
+        """A commit window waits for overlapping windows *and* reads."""
+        return any(
+            key in self._key_fences or key in self._read_fences for key in txn.keys()
+        )
+
+    def _open_commit_window(self, txn: _Txn) -> None:
+        """Fence the transaction's keys and submit its decision + writes.
+
+        Cross-shard transactions log the commit decision marker before the
+        data writes it authorizes (same intake replica, so the markers
+        enter the consensus log first); the single-shard fast path skips
+        the markers — one consensus log already orders it atomically.
+        """
+        if self.isolation:
+            for key in txn.keys():
+                self._key_fences[key] = txn.txid
+        cross_shard = len(txn.participants) > 1
+        txn.pending_acks += sum(
+            (1 if cross_shard else 0) + len(txn.writes_by_shard[shard])
+            for shard in txn.participants
+        )
         for shard in txn.participants:
-            self._submit_tracked(
-                shard, txn.txid, "decide", RequestType.WRITE, TXN_COMMIT_PREFIX + txn.txid, outcome, txn.client_id
-            )
-            txn.pending_acks += 1
-            if outcome == "commit":
-                for key, value in txn.writes_by_shard[shard].items():
-                    self._submit_tracked(
-                        shard, txn.txid, "data", RequestType.WRITE, key, value, txn.client_id
-                    )
-                    txn.pending_acks += 1
+            if cross_shard:
+                self._submit_tracked(
+                    shard, txn.txid, "decide", RequestType.WRITE,
+                    TXN_COMMIT_PREFIX + txn.txid, txn.outcome, txn.client_id,
+                )
+            for key, value in txn.writes_by_shard[shard].items():
+                self._submit_tracked(
+                    shard, txn.txid, "data", RequestType.WRITE, key, value, txn.client_id
+                )
 
     def _finish(self, txn: _Txn) -> None:
         txn.phase = "done"
         outcome = txn.outcome or "commit"
         self.stats["txns_committed" if outcome == "commit" else "txns_aborted"] += 1
+        if outcome == "commit":
+            self.committed_txn_order.append((txn.txid, txn.all_writes()))
+        self._release_fences(txn.txid)
         if self.on_transaction_complete is not None:
             self.on_transaction_complete(txn.txid, outcome)
+        self._flush_waiters()
+
+    # -- fence bookkeeping ---------------------------------------------
+    def _release_fences(self, txid: str) -> None:
+        for key in [key for key, holder in self._key_fences.items() if holder == txid]:
+            del self._key_fences[key]
+
+    @staticmethod
+    def _decrement(counter: Dict[str, int], key: str) -> None:
+        """Decrement a per-key count, dropping the entry at zero."""
+        remaining = counter.get(key, 0) - 1
+        if remaining > 0:
+            counter[key] = remaining
+        else:
+            counter.pop(key, None)
+
+    def _flush_waiters(self) -> None:
+        """Re-dispatch work parked behind fences that may have lifted.
+
+        Replies can arrive synchronously (a local-mode read served by the
+        intake replica itself), so a flush can re-enter through
+        :meth:`_finish` / :meth:`_finish_read`; the ``_flushing`` latch
+        collapses nested flushes into one loop.
+        """
+        if self._flushing:
+            self._flush_pending = True
+            return
+        self._flushing = True
+        try:
+            while True:
+                self._flush_pending = False
+                self._flush_once()
+                if not self._flush_pending:
+                    break
+        finally:
+            self._flushing = False
+
+    def _flush_once(self) -> None:
+        # 1. Parked single-key operations whose key fence lifted.
+        if self._deferred_ops:
+            still: List[ClientRequest] = []
+            for request in self._deferred_ops:
+                if request.key in self._key_fences:
+                    still.append(request)
+                else:
+                    self.stats["single_key_ops"] += 1
+                    self.cluster.submit(request)
+            self._deferred_ops = still
+        # 2. Waiting commit windows, FIFO — before new reads, so a stream
+        #    of snapshot reads cannot starve writers.
+        progressed = True
+        while progressed:
+            progressed = False
+            for txn in list(self._waiting_commits):
+                if not self._commit_must_wait(txn):
+                    self._waiting_commits.remove(txn)
+                    for key in txn.keys():
+                        self._decrement(self._pending_commit_keys, key)
+                    self._open_commit_window(txn)
+                    progressed = True
+        # 3. Waiting snapshot reads whose decide windows all closed.
+        if self._waiting_reads:
+            still_reads: List[_ReadTxn] = []
+            for read in self._waiting_reads:
+                if any(
+                    key in self._key_fences or key in self._pending_commit_keys
+                    for key in read.keys
+                ):
+                    still_reads.append(read)
+                else:
+                    self._start_read(read)
+            self._waiting_reads = still_reads
 
     # -- recovery state machine ----------------------------------------
     def _on_recovery_reply(self, kind: str, txid: str, shard: str, reply: ClientReply) -> None:
@@ -335,6 +603,15 @@ class ShardRouter:
         # Presumed abort: the coordinator is gone and no participant holds a
         # commit decision, so no participant can ever have applied the writes.
         recovery.outcome = "commit" if committed else "abort"
+        if self.isolation and recovery.outcome == "commit":
+            # Recovery re-opens the commit's decide window: fence the keys
+            # so snapshot reads issued mid-recovery cannot observe one
+            # participant's recovered writes before another's.  (Recovery
+            # does not wait for in-flight snapshot reads — it is resolving
+            # a crashed coordinator, not racing a live workload.)
+            for record in prepared.values():
+                for key in record["writes"]:
+                    self._key_fences[key] = recovery.txid
         for shard in participants:
             if recovery.decision_values.get(shard) == recovery.outcome:
                 continue  # this shard already holds the decision
@@ -360,13 +637,20 @@ class ShardRouter:
 
     def _finish_recovery(self, recovery: _Recovery) -> None:
         recovery.phase = "done"
+        self._release_fences(recovery.txid)
         self.stats["txns_recovered"] += 1
         if recovery.outcome == "commit":
             self.stats["txns_committed"] += 1
+            writes: Dict[str, str] = {}
+            for value in recovery.prepare_values.values():
+                if value is not None:
+                    writes.update(json.loads(value)["writes"])
+            self.committed_txn_order.append((recovery.txid, writes))
         elif recovery.outcome == "abort":
             self.stats["txns_aborted"] += 1
         if recovery.on_done is not None:
             recovery.on_done(recovery.txid, recovery.outcome)
+        self._flush_waiters()
 
 
 # ----------------------------------------------------------------------

@@ -13,11 +13,14 @@ These implement checks for the properties of §6:
   sharded deployment reaches one outcome on all of its participant shards,
   with effects applied iff that outcome is commit
   (:mod:`repro.verify.atomicity`).
+* **Cross-shard isolation** — no multi-key snapshot read observes a
+  fractured cut of the 2PC commit order
+  (:func:`repro.verify.atomicity.check_read_isolation`).
 """
 
 from repro.verify.history import History, Operation
 from repro.verify.agreement import check_agreement, check_fifo_client_order, check_prefix_consistency
-from repro.verify.atomicity import ShardTxnState, check_cross_shard_atomicity
+from repro.verify.atomicity import ShardTxnState, check_cross_shard_atomicity, check_read_isolation
 from repro.verify.linearizability import check_linearizable_history, check_linearizable_key
 
 __all__ = [
@@ -28,6 +31,7 @@ __all__ = [
     "check_prefix_consistency",
     "check_fifo_client_order",
     "check_cross_shard_atomicity",
+    "check_read_isolation",
     "check_linearizable_history",
     "check_linearizable_key",
 ]

@@ -23,15 +23,24 @@ The checker is pure: it consumes :class:`ShardTxnState` snapshots — how
 those are gathered (store reads, log scans, consensus reads) is the
 caller's concern; :func:`repro.shard.router.collect_txn_states` gathers
 them through the shards' own consensus protocols.
+
+Atomicity is *all-or-nothing at quiescence*; **isolation** is the stronger
+in-flight property that no reader observes one participant's applied
+writes before another's.  :func:`check_read_isolation` checks it over
+multi-key snapshot reads: a read is **fractured** when it observes one
+transaction's write on some key while missing another committed write the
+same cut should contain.  The :class:`repro.shard.router.ShardRouter`
+records exactly the inputs it needs (``snapshot_reads`` and
+``committed_txn_order``).
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["ShardTxnState", "check_cross_shard_atomicity"]
+__all__ = ["ShardTxnState", "check_cross_shard_atomicity", "check_read_isolation"]
 
 
 @dataclass
@@ -124,3 +133,61 @@ def check_cross_shard_atomicity(
                         f"is visible at shard {shard}",
                     )
     return True, f"{len(transactions)} transactions atomic"
+
+
+def check_read_isolation(
+    reads: Sequence[Dict[str, Optional[str]]],
+    committed: Sequence[Tuple[str, Dict[str, str]]],
+) -> Tuple[bool, str]:
+    """Reject fractured multi-key reads against the commit order.
+
+    ``committed`` lists every committed transaction as ``(txid, {key:
+    value})`` in its *version order* — the per-key apply order.  The
+    coordinator's completion order is such an order whenever decide windows
+    of key-overlapping transactions serialize (which the fenced
+    :class:`~repro.shard.router.ShardRouter` guarantees).  ``reads`` are
+    multi-key cuts ``{key: observed value}``.
+
+    A cut is consistent when some prefix of ``committed`` explains it: for
+    every key, the observed value is the one the latest prefix transaction
+    writing that key produced (or the initial ``None`` when none does).
+    The checker recovers each observed value's writer index (transactions
+    must use distinct values per key, as the workload generator does; a
+    value written by several transactions resolves to its latest writer),
+    takes the newest observed writer as the candidate cut, and flags a
+    **fractured read** whenever another key of the cut skips a committed
+    write at or before that point.  Values no transaction wrote (single-key
+    writes interleaved by the workload) leave their key unconstrained.
+    """
+    writers_of: Dict[str, List[int]] = {}
+    value_index: Dict[Tuple[str, str], int] = {}
+    for index, (_txid, writes) in enumerate(committed, start=1):
+        for key, value in writes.items():
+            writers_of.setdefault(key, []).append(index)
+            value_index[(key, value)] = index
+
+    for position, cut in enumerate(reads):
+        observed_index: Dict[str, Optional[int]] = {}
+        for key, observed in cut.items():
+            if observed is None:
+                observed_index[key] = 0
+            else:
+                observed_index[key] = value_index.get((key, observed))
+        known = [index for index in observed_index.values() if index is not None]
+        if not known:
+            continue
+        frontier = max(known)
+        for key, index in observed_index.items():
+            if index is None:
+                continue
+            missed = [j for j in writers_of.get(key, []) if index < j <= frontier]
+            if missed:
+                txid_seen = committed[frontier - 1][0]
+                txid_missed = committed[missed[0] - 1][0]
+                return (
+                    False,
+                    f"read #{position} is fractured: it observes txn {txid_seen!r} "
+                    f"(version {frontier}) but key {key!r} misses the write of "
+                    f"txn {txid_missed!r} (version {missed[0]})",
+                )
+    return True, f"{len(reads)} multi-key reads consistent with {len(committed)} commits"

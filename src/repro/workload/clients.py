@@ -37,6 +37,7 @@ class ClientProcess:
     sent: int = 0
     completed: int = 0
     txns_sent: int = 0
+    read_txns_sent: int = 0
 
 
 class ClientHostAgent:
@@ -52,8 +53,10 @@ class ClientHostAgent:
         open_loop: bool = True,
         route_key: Optional[Callable[[str], str]] = None,
         submit_txn: Optional[Callable[[str, Dict[str, str]], None]] = None,
+        read_txn: Optional[Callable[[str, List[str]], None]] = None,
         multi_key_ratio: float = 0.0,
         multi_key_span: int = 2,
+        txn_read_ratio: float = 0.0,
     ) -> None:
         self.runtime = runtime
         self.transport = runtime.transport
@@ -69,8 +72,12 @@ class ClientHostAgent:
         #: ``(client_id, {key: value})``; the coordinator (a ShardRouter)
         #: runs two-phase commit across the owning shards.
         self.submit_txn = submit_txn
+        #: Snapshot-read hook: called with ``(client_id, [keys])``; the
+        #: coordinator reads the keys as one consistent cut.
+        self.read_txn = read_txn
         self.multi_key_ratio = multi_key_ratio if submit_txn is not None else 0.0
         self.multi_key_span = multi_key_span
+        self.txn_read_ratio = txn_read_ratio if read_txn is not None else 0.0
         self._inflight: Dict[int, ClientProcess] = {}
         self.running = False
         runtime.set_handler(self.on_message)
@@ -121,17 +128,21 @@ class ClientHostAgent:
         self.transport.send(target, request, request.wire_size())
 
     def _send_transaction(self, process: ClientProcess) -> None:
-        """Hand a multi-key write set to the 2PC coordinator.
+        """Hand a multi-key operation to the 2PC coordinator.
 
-        The coordinator submits through the shard protocols directly (a
+        A ``txn_read_ratio`` fraction of multi-key operations are snapshot
+        reads over the same key distribution; the rest are write sets.  The
+        coordinator submits through the shard protocols directly (a
         client-library coordinator), so transactions are not recorded in the
         per-request metrics collector; their completions are counted by the
         router's own stats and the per-shard reply stream.
         """
-        writes = {
-            key: self.keyspace.next_value()
-            for key in self.keyspace.next_txn_keys(self.multi_key_span)
-        }
+        keys = self.keyspace.next_txn_keys(self.multi_key_span)
+        if self.txn_read_ratio > 0.0 and self.rng.random() < self.txn_read_ratio:
+            process.read_txns_sent += 1
+            self.read_txn(process.process_id, keys)
+            return
+        writes = {key: self.keyspace.next_value() for key in keys}
         process.txns_sent += 1
         self.submit_txn(process.process_id, writes)
 
@@ -158,3 +169,6 @@ class ClientHostAgent:
 
     def total_txns_sent(self) -> int:
         return sum(process.txns_sent for process in self.processes)
+
+    def total_read_txns_sent(self) -> int:
+        return sum(process.read_txns_sent for process in self.processes)

@@ -39,6 +39,10 @@ class WorkloadConfig:
     multi_key_ratio: float = 0.0
     #: Keys touched by each multi-key transaction.
     multi_key_span: int = 2
+    #: Fraction of the multi-key operations that are *snapshot reads*
+    #: (:meth:`repro.shard.router.ShardRouter.read_txn`) instead of write
+    #: transactions — the sharded read-consistency mix.
+    txn_read_ratio: float = 0.0
     seed: int = 1
 
 
@@ -98,11 +102,16 @@ class WorkloadGenerator:
 
         route_key = getattr(self.router, "target_for_key", None)
         submit_txn = None
+        read_txn = None
         if self.router is not None and self.config.multi_key_ratio > 0.0:
             router = self.router
 
             def submit_txn(client_id: str, writes: Dict[str, str]) -> None:
                 router.submit_transaction(writes, client_id=client_id)
+
+            if self.config.txn_read_ratio > 0.0:
+                def read_txn(client_id: str, keys: List[str]) -> None:
+                    router.read_txn(keys, client_id=client_id)
 
         for host_name, processes in processes_by_host.items():
             if not processes:
@@ -120,8 +129,10 @@ class WorkloadGenerator:
                 open_loop=self.config.open_loop,
                 route_key=route_key,
                 submit_txn=submit_txn,
+                read_txn=read_txn,
                 multi_key_ratio=self.config.multi_key_ratio,
                 multi_key_span=self.config.multi_key_span,
+                txn_read_ratio=self.config.txn_read_ratio,
             )
             self.agents.append(agent)
         return self.collector
@@ -157,3 +168,6 @@ class WorkloadGenerator:
 
     def total_txns_sent(self) -> int:
         return sum(agent.total_txns_sent() for agent in self.agents)
+
+    def total_read_txns_sent(self) -> int:
+        return sum(agent.total_read_txns_sent() for agent in self.agents)

@@ -29,8 +29,37 @@ from repro.protocols import (
 )
 from repro.runtime.asyncio_runtime import AsyncioTopology
 from repro.sim.engine import Simulator
+from repro.verify import check_linearizable_history
+from repro.verify.history import History
 
 ALL_PROTOCOLS = registered_protocols()
+
+VALID_CONSISTENCY_LEVELS = {"linearizable", "sequential"}
+
+
+def history_from(requests, replies):
+    """Build a verify.History from submitted requests and their replies.
+
+    ``invoked_at`` is the server-side intake time (``submitted_at``) and
+    ``completed_at`` the serving replica's reply time — both on the one
+    deployment-wide clock, and both bracketing the operation's
+    linearization point, so a correct protocol always admits an order.
+    """
+    answered = {reply.request_id: reply for reply in replies}
+    history = History()
+    for request in requests:
+        reply = answered.get(request.request_id)
+        if reply is None:
+            continue
+        history.add(
+            client_id=request.client_id,
+            kind="read" if request.is_read() else "write",
+            key=request.key,
+            value=reply.value if request.is_read() else request.value,
+            invoked_at=request.submitted_at,
+            completed_at=reply.completed_at,
+        )
+    return history
 
 
 def drive_mixed_workload(protocol, simulator, writes=8, reads=6):
@@ -128,6 +157,65 @@ class TestConformance:
         assert not protocol.is_healthy(), f"{name}: crash not reflected in is_healthy()"
 
 
+def drive_contended_reads(protocol, simulator, rounds=4):
+    """Writes to one key racing reads at other replicas, mid-propagation.
+
+    Reads are deliberately issued while the write is still replicating, so
+    any read path weaker than the write path (a local read at a lagging
+    replica) has a real window in which to return a stale value.
+    """
+    node_ids = protocol.node_ids()
+    requests = []
+    for index in range(rounds):
+        write = ClientRequest(
+            client_id="writer", op=RequestType.WRITE, key="contended", value=f"v{index}"
+        )
+        protocol.submit(write, node_id=node_ids[0])
+        requests.append(write)
+        for offset, node_index in ((0.0005, 1), (0.002, -1)):
+            simulator.run_until(simulator.now + offset)
+            read = ClientRequest(
+                client_id=f"reader-{node_index}", op=RequestType.READ, key="contended"
+            )
+            protocol.submit(read, node_id=node_ids[node_index])
+            requests.append(read)
+        simulator.run_until(simulator.now + 0.5)
+    simulator.run_until(simulator.now + 2.0)
+    return requests
+
+
+class TestReadConsistencyConformance:
+    """Every protocol honours the read-consistency level it declares."""
+
+    def test_declared_modes_are_well_formed(self, deployment):
+        name, _, protocol, _ = deployment
+        assert protocol.read_modes, f"{name}: no read modes declared"
+        for mode, level in protocol.read_modes.items():
+            assert level in VALID_CONSISTENCY_LEVELS, f"{name}:{mode} declares {level!r}"
+        assert protocol.read_mode in protocol.read_modes
+        # The registry metadata matches the protocol's default mode.
+        spec = protocol_spec(name)
+        assert spec.read_consistency == next(iter(protocol.read_modes.values())), (
+            f"{name}: registry says {spec.read_consistency!r} but the default "
+            f"mode provides {next(iter(protocol.read_modes.values()))!r}"
+        )
+
+    def test_unknown_read_mode_rejected(self, deployment):
+        name, _, protocol, _ = deployment
+        with pytest.raises(ValueError, match="read mode"):
+            protocol.set_read_mode("not-a-mode")
+
+    def test_linearizable_protocols_pass_the_checker(self, deployment):
+        name, simulator, protocol, replies = deployment
+        if protocol.read_consistency() != "linearizable":
+            pytest.skip(f"{name} declares {protocol.read_consistency()!r} reads")
+        requests = drive_contended_reads(protocol, simulator)
+        history = history_from(requests, replies)
+        assert len(history) == len(requests), f"{name}: not every operation completed"
+        ok, message = check_linearizable_history(history)
+        assert ok, f"{name}: {message}"
+
+
 def asyncio_protocol_config(name):
     """Per-protocol tuning for wall-clock runs (None = registry defaults).
 
@@ -209,6 +297,29 @@ class TestAsyncioConformance:
         reply = next((r for r in replies if r.request_id == read.request_id), None)
         assert reply is not None, f"{name}: read never answered on asyncio"
         assert reply.value == "42", f"{name}: read returned {reply.value!r} on asyncio"
+
+    def test_linearizable_read_consistency_on_real_interleavings(self, asyncio_deployment):
+        """Reads racing writes on genuine concurrency stay linearizable."""
+        name, topology, protocol, replies = asyncio_deployment
+        if protocol.read_consistency() != "linearizable":
+            pytest.skip(f"{name} declares {protocol.read_consistency()!r} reads")
+        node_ids = protocol.node_ids()
+        requests = []
+        for index in range(2):
+            write = ClientRequest(
+                client_id="writer", op=RequestType.WRITE, key="contended", value=f"v{index}"
+            )
+            protocol.submit(write, node_id=node_ids[0])
+            requests.append(write)
+            # Race a read at another replica against the in-flight write.
+            read = ClientRequest(client_id="reader", op=RequestType.READ, key="contended")
+            protocol.submit(read, node_id=node_ids[-1])
+            requests.append(read)
+            settle(topology)
+        history = history_from(requests, replies)
+        assert len(history) == len(requests), f"{name}: not every operation completed"
+        ok, message = check_linearizable_history(history)
+        assert ok, f"{name}: {message} (asyncio)"
 
 
 class TestRegistry:
