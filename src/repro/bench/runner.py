@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import random
 import time
 import tracemalloc
 from dataclasses import dataclass, field, replace
@@ -295,6 +296,10 @@ class PerfPoint:
 
     label: str
     system: str = "epaxos"
+    #: What the point exercises: a simulated protocol ``workload`` (the
+    #: default), the event ``engine`` alone (schedule/cancel/drain mix, no
+    #: protocol), or a reduced-op run on the ``asyncio`` substrate.
+    kind: str = "workload"
     nodes_per_rack: int = 9
     racks: int = 3
     rate_hz: float = 24000.0
@@ -316,6 +321,12 @@ class PerfPoint:
     #: Fraction of the multi-key ops that are snapshot reads (sharded
     #: points; the CLI ``--reads`` flag overrides it).
     txn_read_ratio: float = 0.0
+    #: Total scheduled operations for ``kind="engine"`` points (split
+    #: between the wheel-friendly and wheel-hostile distributions).
+    engine_ops: int = 120_000
+    #: Submitted requests for ``kind="asyncio"`` points (real concurrency
+    #: is wall-clock-expensive, so op counts are far below the sim points).
+    asyncio_ops: int = 30
 
     def profile(self) -> ExperimentProfile:
         return ExperimentProfile(
@@ -370,7 +381,171 @@ PERF_POINTS: Dict[str, PerfPoint] = {
         txn_read_ratio=0.3,
         repeats=3,
     ),
+    # The event engine alone, no protocol: a deterministic schedule/cancel/
+    # drain mix at a wheel-friendly distribution (delays clustered at
+    # link/CPU scale) and a wheel-hostile one (uniform 0-250 ms, overflow/
+    # cascade dominated).  The digest pins the fired trace, so engine
+    # ordering regressions are caught independently of protocol workloads.
+    "engine-microbench": PerfPoint(
+        label="engine-wheel-mix",
+        system="engine",
+        kind="engine",
+        rate_hz=0.0,
+        write_ratio=0.0,
+        client_processes=0,
+        repeats=3,
+    ),
+    # The shard-smoke shape (canopus, 2 racks x 3 nodes) on the asyncio
+    # substrate at sharply reduced op counts: real sleeps and genuine task
+    # concurrency, so wall-clock is tracked but no commit-log digest is
+    # pinned (interleavings are non-deterministic by design).
+    "asyncio-smoke": PerfPoint(
+        label="canopus-asyncio-smoke",
+        system="canopus",
+        kind="asyncio",
+        nodes_per_rack=3,
+        racks=2,
+        rate_hz=0.0,
+        write_ratio=0.5,
+        client_processes=0,
+        asyncio_ops=30,
+        repeats=2,
+    ),
 }
+
+
+def _drive_engine_mix(loop_cls: type, ops: int, seed: int, hostile: bool) -> Tuple[Any, List[tuple]]:
+    """Drive one event engine through a deterministic schedule/cancel/drain mix.
+
+    The mix is the engine micro-benchmark *and* the differential-test
+    driver: it returns the loop plus the fired ``(tag, time)`` trace, and
+    because both engines execute any schedule stream in the identical
+    ``(time, priority, seq)`` order, the trace — including the RNG draws
+    made from inside callbacks — must be byte-identical between
+    :class:`repro.sim.engine.EventLoop` and
+    :class:`repro.sim.engine.HeapEventLoop`.
+
+    ``hostile=False`` clusters delays at link/CPU scale (tens of µs), the
+    regime the wheel is built for: high bucket occupancy, near-zero
+    overflow.  ``hostile=True`` spreads delays uniformly over 0–250 ms,
+    far past the ~33 ms wheel horizon, so most inserts land in the
+    overflow heap and the run is dominated by cascades — the wheel's
+    worst case, tracked so a regression there is caught independently of
+    the protocol workloads.
+    """
+    rng = random.Random(seed)
+    loop = loop_cls()
+    trace: List[tuple] = []
+    chain_budget = ops // 3
+
+    if hostile:
+        def delta() -> float:
+            return rng.random() * 0.25
+    else:
+        def delta() -> float:
+            return 25e-6 + rng.random() * 20e-6
+
+    def fire(tag: int) -> None:
+        nonlocal chain_budget
+        trace.append((tag, loop.now))
+        if chain_budget > 0 and rng.random() < 0.35:
+            chain_budget -= 1
+            loop.schedule_fast(loop.now + delta(), partial(fire, tag + 1_000_000), rng.randrange(4, 12))
+
+    pending: List[Any] = []
+    for index in range(ops):
+        choice = rng.random()
+        when = loop.now + delta()
+        if choice < 0.70:
+            loop.schedule_fast(when, partial(fire, index), rng.randrange(4, 12))
+        else:
+            pending.append(loop.schedule_at(when, partial(fire, index), priority=rng.randrange(4, 12)))
+            if len(pending) >= 8 and rng.random() < 0.5:
+                pending.pop(rng.randrange(len(pending))).cancel()
+        if index & 1023 == 1023:
+            # Interleave draining with scheduling so inserts hit every
+            # regime (before base, in-wheel, overflow) at a moving base.
+            loop.run_until(loop.now + (0.05 if hostile else 0.002))
+    loop.run()
+    return loop, trace
+
+
+def _run_engine_microbench(point: PerfPoint) -> Tuple[int, str, int]:
+    """Run the engine micro-benchmark; returns (events, digest, fired).
+
+    The digest fingerprints the fired ``(tag, time)`` traces of both
+    distributions, so the CI digest gate pins the engine's execution
+    *order* exactly as the workload points pin commit logs.
+    """
+    from repro.sim.engine import EventLoop
+
+    events = 0
+    fired = 0
+    digest = hashlib.sha256()
+    for hostile in (False, True):
+        loop, trace = _drive_engine_mix(EventLoop, point.engine_ops // 2, point.seed + hostile, hostile)
+        events += loop.processed_events
+        fired += len(trace)
+        digest.update(repr(trace).encode("utf-8"))
+    return events, digest.hexdigest(), fired
+
+
+def _run_asyncio_smoke(point: PerfPoint) -> Tuple[int, int]:
+    """Run a reduced-op protocol workload on the asyncio substrate.
+
+    Returns ``(messages_delivered, requests_answered)``.  Real sleeps and
+    genuine task interleavings make the run non-deterministic, so there is
+    no commit-log digest — the point tracks wall-clock only (the ROADMAP
+    carried item: asyncio perf was previously unmeasured).
+    """
+    from repro.canopus.config import CanopusConfig
+    from repro.canopus.messages import ClientRequest, RequestType
+    from repro.protocols import build_protocol
+    from repro.runtime.asyncio_runtime import AsyncioTopology
+
+    rack_map = {
+        f"rack-{rack}": [f"n{rack}-{index}" for index in range(point.nodes_per_rack)]
+        for rack in range(point.racks)
+    }
+    topology = AsyncioTopology(rack_map, seed=point.seed)
+    replies: List[Any] = []
+    config = None
+    if point.system in ("canopus", "zkcanopus"):
+        # The conformance suite's wall-clock tuning: ideal broadcast and
+        # short cycles keep real-sleep runs fast and stable.
+        config = CanopusConfig(
+            broadcast_mode="ideal",
+            pipelining=False,
+            cycle_interval_s=0.02,
+            heartbeat_interval_s=0.5,
+            fetch_timeout_s=0.5,
+        )
+    protocol = build_protocol(point.system, topology, config=config, on_reply=replies.append)
+    protocol.start()
+    try:
+        node_ids = protocol.node_ids()
+        rng = random.Random(point.seed)
+        for index in range(point.asyncio_ops):
+            if rng.random() < point.write_ratio or index < 2:
+                request = ClientRequest(
+                    client_id=f"perf-w{index}",
+                    op=RequestType.WRITE,
+                    key=f"key-{index % 8}",
+                    value=f"value-{index}",
+                )
+            else:
+                request = ClientRequest(
+                    client_id=f"perf-r{index}", op=RequestType.READ, key=f"key-{index % 8}"
+                )
+            protocol.submit(request, node_id=node_ids[index % len(node_ids)])
+        topology.cluster.run(topology.cluster.settle(timeout_s=8.0, quiescent_rounds=10))
+        topology.cluster.run_for(0.1)
+        delivered = topology.cluster.messages_delivered
+        answered = len({reply.request_id for reply in replies})
+    finally:
+        protocol.stop()
+        topology.cluster.close()
+    return delivered, answered
 
 
 def measure_host_calibration(ops: int = 120_000, repeats: int = 3) -> float:
@@ -427,9 +602,23 @@ def run_perf_tracking(point: PerfPoint) -> Dict[str, Any]:
 
     Points with ``shard_count > 1`` run through the sharded harness
     (:mod:`repro.bench.shard_bench`): same measurements, with the commit-log
-    digest taken over every shard's replicas.
+    digest taken over every shard's replicas.  ``kind="engine"`` points run
+    the engine micro-benchmark (no protocol; the digest pins the fired
+    trace), and ``kind="asyncio"`` points run on the asyncio substrate (no
+    digest — real concurrency is non-deterministic).
     """
-    if point.shard_count > 1:
+    if point.kind == "engine":
+
+        def run():
+            return _run_engine_microbench(point)
+
+    elif point.kind == "asyncio":
+
+        def run():
+            delivered, answered = _run_asyncio_smoke(point)
+            return delivered, "", answered
+
+    elif point.shard_count > 1:
         from repro.bench.shard_bench import ShardPointConfig, _execute_shard_point
 
         shard_config = ShardPointConfig(
@@ -451,7 +640,12 @@ def run_perf_tracking(point: PerfPoint) -> Dict[str, Any]:
 
         def run():
             simulator, cluster, _router, result = _execute_shard_point(shard_config)
-            return simulator, cluster.committed_logs(), result.requests_completed
+            return (
+                simulator.loop.processed_events,
+                _commit_log_sha256(cluster.committed_logs()),
+                result.requests_completed,
+            )
+
     else:
         factory = partial(
             make_single_dc_topology, nodes_per_rack=point.nodes_per_rack, racks=point.racks
@@ -469,7 +663,11 @@ def run_perf_tracking(point: PerfPoint) -> Dict[str, Any]:
 
         def run():
             simulator, sut, summary = run_point()
-            return simulator, sut.protocol.committed_logs(), summary.requests_completed
+            return (
+                simulator.loop.processed_events,
+                _commit_log_sha256(sut.protocol.committed_logs()),
+                summary.requests_completed,
+            )
 
     best_wall: Optional[float] = None
     events = 0
@@ -477,13 +675,10 @@ def run_perf_tracking(point: PerfPoint) -> Dict[str, Any]:
     completed = 0
     for _ in range(max(1, point.repeats)):
         start = time.perf_counter()
-        simulator, logs, run_completed = run()
+        events, digest, completed = run()
         wall = time.perf_counter() - start
         if best_wall is None or wall < best_wall:
             best_wall = wall
-        events = simulator.loop.processed_events
-        digest = _commit_log_sha256(logs)
-        completed = run_completed
 
     tracemalloc.start()
     try:
@@ -556,6 +751,58 @@ def update_perf_report(
     return entry
 
 
+def profile_perf_point(
+    point: PerfPoint, key: str, path: str, top_n: int = 25
+) -> List[Dict[str, Any]]:
+    """Run ``point`` once under cProfile and record the hot functions.
+
+    The top ``top_n`` functions by cumulative time land in the report
+    file's ``profiles`` section (keyed by the point name), so a hot-path
+    claim can cite committed profile data instead of ad-hoc
+    instrumentation.  Profiling inflates wall-clock, so nothing is merged
+    into the point's ``baseline``/``current`` entries.  Returns the rows.
+    """
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    current = run_perf_tracking(replace(point, repeats=1))
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    rows: List[Dict[str, Any]] = []
+    for func in stats.fcn_list[: max(1, top_n)]:
+        _cc, ncalls, tottime, cumtime, _callers = stats.stats[func]
+        filename, line, name = func
+        if "/repro/" in filename:
+            filename = "repro/" + filename.split("/repro/", 1)[1]
+        rows.append(
+            {
+                "function": f"{filename}:{line}({name})",
+                "calls": ncalls,
+                "tottime_s": round(tottime, 4),
+                "cumtime_s": round(cumtime, 4),
+            }
+        )
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            report = json.load(fh)
+    except (FileNotFoundError, json.JSONDecodeError):
+        report = {"benchmark": "sim_hotpath", "points": {}}
+    report.setdefault("profiles", {})[key] = {
+        "label": point.label,
+        "note": "wall-clock under cProfile is inflated; not comparable to baseline/current",
+        "wall_s_profiled": current["wall_s"],
+        "events": current["events"],
+        "top_by_cumtime": rows,
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return rows
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI for the perf-tracking mode (used by the CI perf smoke step).
 
@@ -604,6 +851,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "ops that are read_txn snapshot reads; sharded points only)",
     )
     parser.add_argument(
+        "--profile",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run the perf point under cProfile and record the top-N functions "
+        "by cumulative time in the report's 'profiles' section; profiled "
+        "wall-clock is inflated, so the measurement is NOT merged into the "
+        "point's baseline/current entries and no gate is applied",
+    )
+    parser.add_argument(
         "--shard-saturation",
         action="store_true",
         help="run the sharded throughput-scaling sweep instead of a perf point",
@@ -647,6 +904,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     point = PERF_POINTS[args.perf_point]
     if args.reads is not None:
         point = replace(point, txn_read_ratio=args.reads)
+    if args.profile is not None:
+        rows = profile_perf_point(point, args.perf_point, args.report, top_n=args.profile)
+        for row in rows:
+            print(
+                f"{row['cumtime_s']:9.4f}s cum {row['tottime_s']:9.4f}s tot "
+                f"{row['calls']:>9} calls  {row['function']}"
+            )
+        print(f"profile of {point.label!r} recorded in {args.report} (no gate applied)")
+        return 0
     current = run_perf_tracking(point)
     entry = update_perf_report(args.report, args.perf_point, current, set_baseline=args.set_baseline)
     ratio = entry["events_per_s_ratio_vs_baseline"]

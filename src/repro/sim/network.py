@@ -23,6 +23,7 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
+from heapq import heapify, heappop, heapreplace
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.sim.engine import Event, EventLoop, SimulationError
@@ -40,18 +41,6 @@ __all__ = [
 
 #: Default per-message protocol framing overhead in bytes (headers etc.).
 DEFAULT_HEADER_BYTES = 64
-
-
-class _Repeat:
-    """Constant pseudo-sequence: indexes to the same value at any position."""
-
-    __slots__ = ("value",)
-
-    def __init__(self, value: Any) -> None:
-        self.value = value
-
-    def __getitem__(self, index: int) -> Any:
-        return self.value
 
 
 #: Cache-miss sentinel (None is a valid cached value: loopback).
@@ -147,7 +136,7 @@ class DeliveryQueue:
     def _flush(self) -> None:
         self._armed = False
         pending = self._pending
-        now = self.loop.now
+        now = self.loop._now
         deliver = self.deliver
         while pending and pending[0][0] <= now:
             deliver(pending.popleft()[1])
@@ -176,18 +165,36 @@ class Link:
         self.bytes_sent = 0
         self.packets_sent = 0
         self._arrivals = DeliveryQueue(loop, deliver, priority=5, label=f"link:{name}")
+        #: When this link is a host's only ingress link, arrivals go to the
+        #: host's lazy backlog lane instead of a scheduled delivery queue
+        #: (set by :meth:`Network.add_link` via ``Host._attach_ingress``).
+        self._lazy_host: Optional["Host"] = None
+        #: When this link feeds a zero-delay switch, arrivals go to the
+        #: switch's per-ingress-link lane, drained in merged arrival order
+        #: by the switch's lookahead drain (see :class:`Switch`).
+        self._lazy_lane: Optional["_SwitchLane"] = None
 
     def transmit(self, packet: Packet) -> float:
         """Enqueue ``packet`` and return its arrival time at the far end."""
         total_bytes = packet.size_bytes + DEFAULT_HEADER_BYTES
         serialization = total_bytes * 8.0 / self.bandwidth_bps
-        start = max(self.loop.now, self._busy_until)
+        busy = self._busy_until
+        now = self.loop._now
+        start = now if now > busy else busy
         finish = start + serialization
         self._busy_until = finish
         arrival = finish + self.latency_s
         self.bytes_sent += total_bytes
         self.packets_sent += 1
-        self._arrivals.push(arrival, packet)
+        host = self._lazy_host
+        if host is not None:
+            host._ingress_push(arrival, packet, now)
+        else:
+            lane = self._lazy_lane
+            if lane is not None:
+                lane.push(arrival, now, packet)
+            else:
+                self._arrivals.push(arrival, packet)
         return arrival
 
     def transmit_at(self, earliest_start: float, packet: Packet) -> float:
@@ -206,14 +213,54 @@ class Link:
         """
         total_bytes = packet.size_bytes + DEFAULT_HEADER_BYTES
         serialization = total_bytes * 8.0 / self.bandwidth_bps
-        start = max(earliest_start, self._busy_until)
+        busy = self._busy_until
+        start = earliest_start if earliest_start > busy else busy
         finish = start + serialization
         self._busy_until = finish
         arrival = finish + self.latency_s
         self.bytes_sent += total_bytes
         self.packets_sent += 1
-        self._arrivals.push(arrival, packet)
+        p_ref = self.loop._now
+        host = self._lazy_host
+        if host is not None:
+            host._ingress_push(arrival, packet, p_ref)
+        else:
+            lane = self._lazy_lane
+            if lane is not None:
+                lane.push(arrival, p_ref, packet)
+            else:
+                self._arrivals.push(arrival, packet)
         return arrival
+
+    def transmit_lazy(self, forward_at: float, packet: Packet) -> None:
+        """Transmit on behalf of a switch drain forwarding at modelled
+        instant ``forward_at`` (the packet's arrival at that switch).
+
+        Identical arithmetic to :meth:`transmit` executed at a dedicated
+        event at ``forward_at`` — ``start = max(forward_at, busy)`` — but
+        run eagerly from the drain.  ``forward_at`` doubles as the
+        downstream reference-push instant (a zero-delay switch forwards the
+        moment a packet arrives), which keeps the virtual delivery-queue
+        accounting on the next hop exact.
+        """
+        total_bytes = packet.size_bytes + DEFAULT_HEADER_BYTES
+        serialization = total_bytes * 8.0 / self.bandwidth_bps
+        busy = self._busy_until
+        start = forward_at if forward_at > busy else busy
+        finish = start + serialization
+        self._busy_until = finish
+        arrival = finish + self.latency_s
+        self.bytes_sent += total_bytes
+        self.packets_sent += 1
+        host = self._lazy_host
+        if host is not None:
+            host._ingress_push(arrival, packet, forward_at)
+        else:
+            lane = self._lazy_lane
+            if lane is not None:
+                lane.push(arrival, forward_at, packet)
+            else:
+                self._arrivals.push(arrival, packet)
 
     @property
     def queue_delay(self) -> float:
@@ -250,30 +297,366 @@ class NetworkElement:
         raise NotImplementedError
 
 
+class _SwitchLane:
+    """One ingress link's arrival backlog at a zero-delay switch.
+
+    ``q`` holds ``(arrival, p_ref, packet)`` with arrivals non-decreasing
+    (the feeding link is FIFO and feeds it in modelled-forward order).
+    ``p_ref`` is the instant the reference engine would have pushed the
+    packet into this link's delivery queue — its forward time at the
+    previous element — which drives the virtual armed-flush accounting:
+    ``ref_live`` caches whether the reference engine currently holds an
+    armed flush event for this link (head ``p_ref`` has passed).
+
+    ``(arm_at, arm_tick)`` reproduce the reference flush event's tie rank
+    for the head group: the instant the reference would have armed that
+    flush (push when the queue was empty, else the previous group's flush
+    instant) and a per-switch monotone tick standing in for the engine's
+    schedule sequence number.  Merging lanes by ``(arrival, arm_at,
+    arm_tick)`` therefore replays equal-arrival flushes of different
+    ingress links in the reference engine's ``(time, priority, seq)``
+    order, which is what keeps shared-egress serialization byte-identical
+    under symmetric broadcast collisions.
+    """
+
+    __slots__ = ("owner", "q", "ref_live", "group_arr", "arm_at", "arm_tick", "lat", "src")
+
+    def __init__(self, owner: "Switch", lat: float, src: "NetworkElement") -> None:
+        self.owner = owner
+        self.q: "deque[Tuple[float, float, Packet]]" = deque()
+        self.ref_live = 0
+        #: Arrival of the last counted virtual flush group (equal-arrival
+        #: runs are contiguous per lane and never straddle two drains, so
+        #: comparing against the previous item is exact).
+        self.group_arr = -1.0
+        self.arm_at = float("-inf")
+        self.arm_tick = 0
+        #: Feeding link's latency and source element: a drain may only
+        #: forward up to ``min over lanes of (lat - source's drain slack)``
+        #: past its own instant, because a lazily-draining source can push
+        #: an item up to its grid period after the item's modelled forward
+        #: time (see Switch._margin).
+        self.lat = lat
+        self.src = src
+
+    def push(self, arrival: float, p_ref: float, packet: Packet) -> None:
+        q = self.q
+        owner = self.owner
+        loop = owner._loop
+        if q:
+            if arrival < q[-1][0]:
+                # FIFO feeders cannot produce this; keep an unbatched
+                # fallback mirroring DeliveryQueue's out-of-order contract.
+                loop.schedule_fast(arrival, lambda: owner.receive(packet), 5)
+                return
+        elif p_ref > self.arm_at:
+            # Reference arming: empty queue, armed by this push at p_ref.
+            # When p_ref has not passed the chain key left behind by the
+            # last drained group, the reference queue never went empty (the
+            # push happened before that group's flush) and re-armed chained
+            # at the flush instant: keep the stored chain key instead.
+            self.arm_at = p_ref
+            self.arm_tick = owner._arm_tick = owner._arm_tick + 1
+        q.append((arrival, p_ref, packet))
+        if not self.ref_live and p_ref <= loop._now:
+            self.ref_live = 1
+            loop._live += 1
+        # Arm the drain on the switch's time grid: a packet may wait up to
+        # one grid period (= min egress latency) because its downstream
+        # arrival is at least that far away, and grid alignment means a
+        # burst of head-improving pushes arms one drain, not one each.
+        g = (int(arrival * owner._grid_inv) + 1) * owner._grid
+        at = owner._drain_at
+        if at is None or g < at:
+            owner._drain_at = g
+            loop.schedule_fast(g, owner._drain, 5)
+            loop._live -= 1  # hidden: drains have no reference counterpart
+
+
 class Switch(NetworkElement):
     """A store-and-forward switch with negligible internal processing delay.
 
     The switch forwards along the precomputed shortest path.  Switch
     forwarding delay is folded into link latencies, which matches how the
     paper reports topology latencies (host-to-host RTTs).
+
+    Zero-delay switches deliver lazily: each ingress link appends arrivals
+    to a :class:`_SwitchLane`, and a single *drain* event forwards the
+    whole merged backlog whose arrival lies within the switch's lookahead
+    window (the minimum ingress latency).  Any arrival pushed by a later
+    event is strictly beyond that window — a packet transmitted at time
+    ``T`` arrives after ``T + serialization + latency`` — so the merged
+    arrival order the drain forwards in is exactly the order the reference
+    engine's per-arrival flush events would have produced, and
+    :meth:`Link.transmit_lazy` charges each hop the identical arithmetic.
     """
 
     def __init__(self, network: "Network", name: str, forwarding_delay_s: float = 0.0) -> None:
         super().__init__(network, name)
+        self._loop = network.loop
         self.forwarding_delay_s = forwarding_delay_s
         self.packets_forwarded = 0
+        #: Destination -> egress link, resolved once per destination (the
+        #: store-and-forward hot path; cleared on route rebuilds).
+        self._fwd: Dict[str, Link] = {}
+        #: Per-ingress-link backlog lanes (zero-delay switches only).
+        self._lanes: List[_SwitchLane] = []
+        #: Merge-safe lookahead: min ingress latency.  Every not-yet-pushed
+        #: arrival is strictly later than ``drain time + lookahead``.
+        self._lookahead = float("inf")
+        #: Earliest armed drain event time (None when nothing is armed).
+        self._drain_at: Optional[float] = None
+        #: Monotone stand-in for the engine's schedule sequence, bumped at
+        #: every simulated reference arming (see :class:`_SwitchLane`).
+        self._arm_tick = 0
+        #: Drain grid period: the minimum egress latency.  A laned packet
+        #: may be forwarded up to one period after its arrival here without
+        #: any downstream instant observing the delay.
+        self._grid = float("inf")
+        self._grid_inv = 0.0
+        #: Cleared when a zero-latency link makes lazy forwarding unsound.
+        self._lazy_ok = True
+        #: Cached merge-safe window (see :meth:`_margin`).
+        self._margin_cache = float("inf")
+        self._margin_gen = -1
+
+    def _attach_lane(self, link: Link, src: "NetworkElement") -> None:
+        if link.latency_s <= 0.0 or not self._lazy_ok:
+            self._demote_lanes()
+            return
+        lane = _SwitchLane(self, link.latency_s, src)
+        link._lazy_lane = lane
+        self._lanes.append(lane)
+        if link.latency_s < self._lookahead:
+            self._lookahead = link.latency_s
+
+    def _margin(self) -> float:
+        """Merge-safe forwarding window past a drain instant.
+
+        Every arrival not yet pushed into a lane at instant ``g`` is
+        strictly later than ``g + margin``: a real event at ``u >= g``
+        pushes arrivals beyond ``u + lat``, while a lazy source switch's
+        drain at ``u`` may forward items whose modelled forward time is up
+        to its grid period old, pushing arrivals beyond ``u + lat - grid``.
+        """
+        gen = self.network._topo_gen
+        if gen != self._margin_gen:
+            margin = float("inf")
+            for lane in self._lanes:
+                src = lane.src
+                slack = src._grid if isinstance(src, Switch) and src._lanes else 0.0
+                m = lane.lat - slack
+                if m < margin:
+                    margin = m
+            self._margin_cache = margin
+            self._margin_gen = gen
+        return self._margin_cache
+
+    def _note_egress(self, latency_s: float) -> None:
+        """Record an outgoing link's latency; it bounds the drain grid."""
+        if latency_s <= 0.0:
+            self._demote_lanes()
+        elif self._lazy_ok and latency_s < self._grid:
+            self._grid = latency_s
+            self._grid_inv = 1.0 / latency_s
+
+    def _demote_lanes(self) -> None:
+        """Fall back to per-arrival scheduled delivery (a zero-latency link
+        leaves no slack for batched forwarding)."""
+        self._lazy_ok = False
+        self.network._topo_gen += 1
+        loop = self._loop
+        for lane in self._lanes:
+            for arrival, _p_ref, packet in lane.q:
+                loop.schedule_fast(arrival, lambda p=packet: self.receive(p), 5)
+            lane.q.clear()
+            if lane.ref_live:
+                lane.ref_live = 0
+                loop._live -= 1
+        self._lanes.clear()
+        self._grid = 0.0
+        for link in self.network.links.values():
+            if link._lazy_lane is not None and link._lazy_lane.owner is self:
+                link._lazy_lane = None
+
+    def _drain(self) -> None:
+        """Forward every laned arrival inside the lookahead window.
+
+        Runs as a hidden event on the switch's drain grid.  Replays the
+        reference engine's flush events virtually: one processed event per
+        per-lane distinct-arrival group, with per-lane ``ref_live`` flags
+        standing in for the reference's armed flush entries.
+        """
+        loop = self._loop
+        loop._processed -= 1  # hidden event: undo step()'s accounting
+        loop._live += 1
+        now = loop._now
+        if self._drain_at != now:
+            return  # superseded by a re-arm at an earlier grid point
+        self._drain_at = None
+        bound = now + self._margin()
+        deadline = loop._deadline
+        if now <= deadline < bound:
+            # Never forward past the active run_until window: state
+            # observable at the deadline must match the reference engine.
+            bound = deadline
+        nxt = self._drain_to(bound, now)
+        if nxt is not None:
+            g = (int(nxt * self._grid_inv) + 1) * self._grid
+            at = self._drain_at
+            if at is None or g < at:
+                self._drain_at = g
+                loop.schedule_fast(g, self._drain, 5)
+                loop._live -= 1
+
+    def _drain_to(self, bound: float, now: float) -> Optional[float]:
+        """Forward every laned arrival at or before ``bound`` in merged
+        reference order, then refresh the virtual armed-flush flags.
+        Returns the merged head arrival left pending, if any.
+        """
+        loop = self._loop
+        lanes = self._lanes
+        heads = [
+            (lane.q[0][0], lane.arm_at, lane.arm_tick, i)
+            for i, lane in enumerate(lanes)
+            if lane.q
+        ]
+        if not heads:
+            return None
+        heapify(heads)
+        groups = 0
+        count = 0
+        fwd_get = self._fwd.get
+        hdr = DEFAULT_HEADER_BYTES
+        while heads:
+            head = heads[0]
+            arrival = head[0]
+            if arrival > bound:
+                break
+            i = head[3]
+            lane = lanes[i]
+            q = lane.q
+            _, _, packet = q.popleft()
+            if arrival != lane.group_arr:
+                lane.group_arr = arrival
+                groups += 1
+            count += 1
+            packet.hops += 1
+            dst = packet.dst
+            link = fwd_get(dst)
+            if link is None:
+                link = self.interface.links[self.network.next_hop(self.name, dst)]
+                self._fwd[dst] = link
+            # Link.transmit_lazy, inlined (the drain is the per-packet hot
+            # loop): identical expression shapes, forward_at = arrival.
+            total_bytes = packet.size_bytes + hdr
+            serialization = total_bytes * 8.0 / link.bandwidth_bps
+            busy = link._busy_until
+            start = arrival if arrival > busy else busy
+            finish = start + serialization
+            link._busy_until = finish
+            down_arrival = finish + link.latency_s
+            link.bytes_sent += total_bytes
+            link.packets_sent += 1
+            sink = link._lazy_host
+            if sink is not None:
+                sink._ingress_push(down_arrival, packet, arrival)
+            else:
+                sink = link._lazy_lane
+                if sink is not None:
+                    sink.push(down_arrival, arrival, packet)
+                else:
+                    link._arrivals.push(down_arrival, packet)
+            if q:
+                nxt_arrival, nxt_p_ref, _ = q[0]
+                if nxt_arrival == arrival:
+                    heapreplace(heads, (arrival, head[1], head[2], i))
+                else:
+                    # Group boundary: the reference re-arms at this flush's
+                    # instant when the next item is already pushed, else at
+                    # the instant of that item's push.
+                    lane.arm_at = arrival if nxt_p_ref <= arrival else nxt_p_ref
+                    lane.arm_tick = self._arm_tick = self._arm_tick + 1
+                    heapreplace(heads, (nxt_arrival, lane.arm_at, lane.arm_tick, i))
+            else:
+                # Lane drained dry: pre-assign the chain-continuation key.
+                # If a deferred upstream push later lands with p_ref at or
+                # before this flush instant, the reference re-armed chained
+                # right here, with this merge rank (see push()).
+                lane.arm_at = arrival
+                lane.arm_tick = self._arm_tick = self._arm_tick + 1
+                heappop(heads)
+        self.packets_forwarded += count
+        loop._processed += groups
+        # Refresh the virtual armed-flush flags and find the new head.
+        live_delta = 0
+        nxt: Optional[float] = None
+        for lane in lanes:
+            q = lane.q
+            if q:
+                head = q[0]
+                new = 1 if head[1] <= now else 0
+                if nxt is None or head[0] < nxt:
+                    nxt = head[0]
+            else:
+                new = 0
+            if new != lane.ref_live:
+                live_delta += new - lane.ref_live
+                lane.ref_live = new
+        if live_delta:
+            loop._live += live_delta
+        return nxt
 
     def receive(self, packet: Packet) -> None:
         self.packets_forwarded += 1
         packet.hops += 1
-        next_hop = self.network.next_hop(self.name, packet.dst)
-        link = self.interface.links[next_hop]
+        dst = packet.dst
+        link = self._fwd.get(dst)
+        if link is None:
+            link = self.interface.links[self.network.next_hop(self.name, dst)]
+            self._fwd[dst] = link
         if self.forwarding_delay_s:
             self.network.loop.schedule(
                 self.forwarding_delay_s, lambda: link.transmit(packet), priority=5, label=f"fwd:{self.name}"
             )
         else:
             link.transmit(packet)
+
+
+class _RxQueue(DeliveryQueue):
+    """The host CPU dispatch queue, pull-aware.
+
+    Before dispatching, the owning host replays any ingress backlog due at
+    or before the flush instant (the lane's virtual flushes run at priority
+    5, this queue at priority 8, so the replay order matches the reference
+    engine's).  After draining, if the CPU went idle while arrivals are
+    still pending in the lane, a real wake-up is armed so the backlog is
+    charged at exactly the instant the reference engine would have.
+    """
+
+    __slots__ = ("host",)
+
+    def __init__(self, host: "Host") -> None:
+        super().__init__(host.network.loop, host._dispatch, priority=8, label=f"cpu:{host.name}")
+        self.host = host
+
+    def _flush(self) -> None:
+        host = self.host
+        loop = self.loop
+        now = loop._now
+        if host._in_armed_at is not None:
+            host._pull(now)
+        self._armed = False
+        pending = self._pending
+        deliver = self.deliver
+        while pending and pending[0][0] <= now:
+            deliver(pending.popleft()[1])
+        if pending:
+            if not self._armed:
+                self._armed = True
+                loop.schedule_fast(pending[0][0], self._flush, self.priority)
+        elif host._in_armed_at is not None:
+            host._arm_wake(host._in_armed_at)
 
 
 class _TxGroup:
@@ -287,13 +670,11 @@ class _TxGroup:
     :meth:`Link.transmit_at` for why that is sound).
     """
 
-    __slots__ = ("dsts", "payloads", "sizes", "starts")
+    __slots__ = ("items",)
 
     def __init__(self) -> None:
-        self.dsts: List[str] = []
-        self.payloads: List[Any] = []
-        self.sizes: List[int] = []
-        self.starts: List[float] = []
+        #: ``(dst, payload, size_bytes, cpu_finish)`` per coalesced send.
+        self.items: List[Tuple[str, Any, int, float]] = []
 
 
 class Host(NetworkElement):
@@ -312,6 +693,7 @@ class Host(NetworkElement):
     def __init__(self, network: "Network", name: str, cpu: Optional[CpuModel] = None) -> None:
         super().__init__(network, name)
         self.cpu = cpu or CpuModel()
+        self._loop = network.loop
         self._handler: Optional[Callable[[str, Any], None]] = None
         self._cpu_busy_until = 0.0
         self._cpu_busy_s = 0.0
@@ -322,25 +704,172 @@ class Host(NetworkElement):
         self.datacenter: Optional[str] = None
         self.failed = False
         loop = network.loop
-        self._rx_queue = DeliveryQueue(loop, self._dispatch, priority=8, label=f"cpu:{name}")
+        self._rx_queue = _RxQueue(self)
         self._tx_queue = DeliveryQueue(loop, self._inject, priority=9, label=f"send:{name}")
         #: Open same-turn coalescing group and the loop turn it belongs to.
         self._open_tx: Optional[_TxGroup] = None
         self._open_tx_turn = -1
+        # Lazy ingress backlog (single-ingress-link hosts only) ----------
+        #: Links delivering to this host; with exactly one, arrivals are
+        #: delivered lazily through the backlog lane below.
+        self._ingress_links: List[Link] = []
+        #: Pending (arrival, p_ref, packet) triples, arrivals non-decreasing;
+        #: ``p_ref`` is the instant the reference engine would have pushed
+        #: the packet into the ingress link's delivery queue.
+        self._in_q: "deque[Tuple[float, float, Packet]]" = deque()
+        #: Virtual delivery-queue arming time: the instant the reference
+        #: engine's per-link delivery queue would fire its next flush.
+        self._in_armed_at: Optional[float] = None
+        #: Whether the reference engine currently holds an armed flush
+        #: entry for the lane (head ``p_ref`` has passed); mirrored into
+        #: the loop's live count so ``len(loop)`` stays exact.
+        self._lane_live = 0
+        #: Earliest real wake-up currently scheduled (None when none).
+        self._wake_at: Optional[float] = None
 
     # ------------------------------------------------------------------
     def set_handler(self, handler: Callable[[str, Any], None]) -> None:
         """Register the callback invoked as ``handler(sender, payload)``."""
         self._handler = handler
 
+    # ------------------------------------------------------------------
+    # Lazy ingress backlog
+    #
+    # A host with a single incoming link (every host in the tree
+    # topologies) does not schedule one delivery event per distinct
+    # arrival time.  Links append (arrival, packet) to the host's lane at
+    # transmit time; the CPU charge for each packet is *replayed* — with
+    # the reference engine's exact arithmetic and order — the first time
+    # the host's CPU state is observed at or after the arrival instant
+    # (a send, a dispatch, a utilization probe, fail/recover, or the
+    # armed wake-up when the CPU would otherwise sit idle).  See
+    # ARCHITECTURE.md, "Backlog delivery".
+    # ------------------------------------------------------------------
+    def _attach_ingress(self, link: Link) -> None:
+        """Register an incoming link; demote to scheduled delivery when
+        the host stops being single-ingress (lazy replay needs one lane)."""
+        self._ingress_links.append(link)
+        if len(self._ingress_links) == 1:
+            link._lazy_host = self
+        else:
+            for attached in self._ingress_links:
+                attached._lazy_host = None
+
+    def _ingress_push(self, when: float, packet: Packet, p_ref: float) -> None:
+        """Append an arrival to the backlog lane (called at transmit time)."""
+        q = self._in_q
+        if q:
+            # Non-empty lane invariant: ``_in_armed_at`` is already set (a
+            # pull only clears it when the lane empties), so only the
+            # armed-flush mirror flag can need updating here.
+            if when < q[-1][0]:
+                # Out-of-order arrival: impossible for a FIFO link, but keep
+                # the DeliveryQueue fallback contract (dedicated event).
+                self._loop.schedule_fast(when, lambda: self.receive(packet), 5)
+                return
+            q.append((when, p_ref, packet))
+            if not self._lane_live:
+                loop = self._loop
+                if p_ref <= loop._now:
+                    self._lane_live = 1
+                    loop._live += 1
+            return
+        q.append((when, p_ref, packet))
+        loop = self._loop
+        if not self._lane_live and p_ref <= loop._now:
+            # Mirror the reference engine's armed flush entry in the live
+            # count; the replay "fires" it from _pull.
+            self._lane_live = 1
+            loop._live += 1
+        if self._in_armed_at is None:
+            self._in_armed_at = when
+            if not self._rx_queue._pending:
+                self._arm_wake(when)
+
+    def _arm_wake(self, when: float) -> None:
+        """Schedule a real wake-up so an idle CPU charges its backlog at
+        the same instant the reference engine's delivery event would."""
+        wake_at = self._wake_at
+        if wake_at is None or when < wake_at:
+            self._wake_at = when
+            loop = self._loop
+            loop.schedule_fast(when, self._wake, 5)
+            # Wake-ups have no counterpart in the reference engine: keep
+            # them invisible to len(loop) (and to processed_events, which
+            # _wake re-adjusts when it fires).
+            loop._live -= 1
+
+    def _wake(self) -> None:
+        loop = self._loop
+        loop._processed -= 1  # uncount: not an event under the reference engine
+        loop._live += 1  # step() decremented for this entry; restore
+        self._wake_at = None
+        if self._in_armed_at is not None:
+            self._pull(loop._now)
+            if self._in_armed_at is not None and not self._rx_queue._pending:
+                self._arm_wake(self._in_armed_at)
+
+    def _pull(self, bound: float) -> None:
+        """Replay ingress delivery flushes due at or before ``bound``.
+
+        Each iteration reproduces one flush of the reference engine's
+        per-link delivery queue: it counts as one processed event, charges
+        every packet that queue would have delivered at that instant with
+        the identical ``start = max(arrival, busy)`` arithmetic, and
+        re-arms (virtually) at the next pending arrival.
+        """
+        armed = self._in_armed_at
+        if armed is None or armed > bound:
+            return
+        loop = self._loop
+        q = self._in_q
+        rxq = self._rx_queue
+        pending = rxq._pending
+        cpu = self.cpu
+        per_message = cpu.per_message_s
+        per_byte = cpu.per_byte_s
+        failed = self.failed
+        busy = self._cpu_busy_until
+        busy_s = self._cpu_busy_s
+        flushes = 0
+        while armed is not None and armed <= bound:
+            flushes += 1
+            while q and q[0][0] <= armed:
+                when, _p_ref, packet = q.popleft()
+                if not failed:
+                    cost = per_message + per_byte * (packet.size_bytes + DEFAULT_HEADER_BYTES)
+                    start = when if when > busy else busy
+                    finish = start + cost
+                    busy = finish
+                    busy_s += cost
+                    # CPU-finish times are non-decreasing (one busy chain),
+                    # so this is rx_queue.push without the out-of-order
+                    # check; arming is settled once, after the batch.
+                    pending.append((finish, packet))
+                # else: dropped, exactly as receive() would at arrival time
+            armed = q[0][0] if q else None
+        self._cpu_busy_until = busy
+        self._cpu_busy_s = busy_s
+        loop._processed += flushes
+        self._in_armed_at = armed
+        if pending and not rxq._armed:
+            rxq._armed = True
+            loop.schedule_fast(pending[0][0], rxq._flush, 8)
+        new_live = 1 if (q and q[0][1] <= loop._now) else 0
+        if new_live != self._lane_live:
+            loop._live += new_live - self._lane_live
+            self._lane_live = new_live
+
     def _tx_group(self) -> Tuple[_TxGroup, bool]:
         """The open coalescing group for the current event turn.
 
         A group stays open only for the duration of one loop turn: any
-        event processed in between bumps ``processed_events``, so a stale
-        group (which may already have flushed) is never extended.
+        event processed in between bumps the loop's turn counter, so a
+        stale group (which may already have flushed) is never extended.
+        (The turn counter, not ``processed_events``: backlog replay moves
+        the processed count *within* a turn.)
         """
-        turn = self.network.loop.processed_events
+        turn = self._loop._turn
         group = self._open_tx
         if group is not None and self._open_tx_turn == turn:
             return group, False
@@ -357,19 +886,31 @@ class Host(NetworkElement):
         """
         if self.failed:
             return
+        loop = self._loop
+        if self._in_armed_at is not None:
+            self._pull(loop._now)
         self.messages_sent += 1
-        probe = Packet(src=self.name, dst=dst, payload=payload, size_bytes=size_bytes)
-        cost = self.cpu.send_time(probe)
-        start = max(self.network.loop.now, self._cpu_busy_until)
+        cpu = self.cpu
+        # Inlined CpuModel.send_time with the identical expression shape
+        # (same parenthesization => bit-identical float results).
+        cost = cpu.send_fraction * (
+            cpu.per_message_s + cpu.per_byte_s * (size_bytes + DEFAULT_HEADER_BYTES)
+        )
+        now = loop._now
+        busy = self._cpu_busy_until
+        start = now if now > busy else busy
         finish = start + cost
         self._cpu_busy_until = finish
         self._cpu_busy_s += cost
-        group, fresh = self._tx_group()
-        group.dsts.append(dst)
-        group.payloads.append(payload)
-        group.sizes.append(size_bytes)
-        group.starts.append(finish)
-        if fresh:
+        turn = loop._turn
+        group = self._open_tx
+        if group is not None and self._open_tx_turn == turn:
+            group.items.append((dst, payload, size_bytes, finish))
+        else:
+            group = _TxGroup()
+            self._open_tx = group
+            self._open_tx_turn = turn
+            group.items.append((dst, payload, size_bytes, finish))
             self._tx_queue.push(finish, group)
 
     def multicast(self, dsts: Sequence[str], payload: Any, size_bytes: int) -> None:
@@ -387,31 +928,42 @@ class Host(NetworkElement):
         """
         if self.failed or not dsts:
             return
+        loop = self._loop
+        if self._in_armed_at is not None:
+            self._pull(loop._now)
         self.messages_sent += len(dsts)
-        probe = Packet(src=self.name, dst=self.name, payload=payload, size_bytes=size_bytes)
-        cost = self.cpu.send_time(probe)
-        start = max(self.network.loop.now, self._cpu_busy_until)
+        cpu = self.cpu
+        cost = cpu.send_fraction * (
+            cpu.per_message_s + cpu.per_byte_s * (size_bytes + DEFAULT_HEADER_BYTES)
+        )
+        now = loop._now
+        busy = self._cpu_busy_until
+        start = now if now > busy else busy
         group, fresh = self._tx_group()
+        items = group.items
+        first = len(items)
         for dst in dsts:
             start += cost
-            group.dsts.append(dst)
-            group.payloads.append(payload)
-            group.sizes.append(size_bytes)
-            group.starts.append(start)
+            items.append((dst, payload, size_bytes, start))
         self._cpu_busy_until = start
         self._cpu_busy_s += cost * len(dsts)
         if fresh:
-            self._tx_queue.push(group.starts[0], group)
+            self._tx_queue.push(items[first][3], group)
 
     def _inject(self, group: _TxGroup) -> None:
-        self.network._deliver_fanout(self.name, group.dsts, group.payloads, group.sizes, group.starts)
+        self.network._deliver_fanout(self.name, group.items)
 
     # ------------------------------------------------------------------
     def receive(self, packet: Packet) -> None:
+        if self._in_armed_at is not None:
+            self._pull(self._loop._now)
         if self.failed:
             return
-        cost = self.cpu.service_time(packet)
-        start = max(self.network.loop.now, self._cpu_busy_until)
+        cpu = self.cpu
+        cost = cpu.per_message_s + cpu.per_byte_s * (packet.size_bytes + DEFAULT_HEADER_BYTES)
+        now = self._loop._now
+        busy = self._cpu_busy_until
+        start = now if now > busy else busy
         finish = start + cost
         self._cpu_busy_until = finish
         self._cpu_busy_s += cost
@@ -428,10 +980,14 @@ class Host(NetworkElement):
     # ------------------------------------------------------------------
     def fail(self) -> None:
         """Crash-stop the host: drop all future traffic and processing."""
+        if self._in_armed_at is not None:
+            self._pull(self.network.loop._now)  # charge pre-crash arrivals
         self.failed = True
 
     def recover(self) -> None:
         """Bring a crashed host back (protocol-level rejoin is separate)."""
+        if self._in_armed_at is not None:
+            self._pull(self.network.loop._now)  # drop in-crash arrivals
         self.failed = False
 
     def cpu_utilization(self, elapsed_s: float) -> float:
@@ -442,6 +998,8 @@ class Host(NetworkElement):
         CPU was ever busy near the end of the window, which over-reported
         utilization for any host with idle gaps.
         """
+        if self._in_armed_at is not None:
+            self._pull(self.network.loop._now)
         if elapsed_s <= 0:
             return 0.0
         return min(1.0, self._cpu_busy_s / elapsed_s)
@@ -477,6 +1035,12 @@ class Network:
         #: unlike per-group keys, which would grow with every distinct
         #: destination mix a turn happens to coalesce.
         self._first_hops: Dict[Tuple[str, str], Optional[Link]] = {}
+        #: Bumped on every link-topology change; invalidates drain margins.
+        self._topo_gen = 0
+        # Backlog lanes are replayed lazily; settle them whenever a run
+        # window closes so observable counters (processed events, CPU
+        # busy time) match the reference engine at every deadline.
+        loop.add_quiesce_hook(self._settle_ingress)
 
     # ------------------------------------------------------------------
     # Construction
@@ -516,8 +1080,21 @@ class Network:
         self.links[(b, a)] = backward
         element_a.interface.connect(forward, b)
         element_b.interface.connect(backward, a)
+        if isinstance(element_a, Switch):
+            element_a._note_egress(latency_s)
+        if isinstance(element_b, Switch):
+            element_b._note_egress(latency_s)
+        if isinstance(element_b, Host):
+            element_b._attach_ingress(forward)
+        elif element_b.forwarding_delay_s == 0:
+            element_b._attach_lane(forward, element_a)
+        if isinstance(element_a, Host):
+            element_a._attach_ingress(backward)
+        elif element_a.forwarding_delay_s == 0:
+            element_a._attach_lane(backward, element_b)
         self._adjacency[a].append(b)
         self._adjacency[b].append(a)
+        self._topo_gen += 1
         self._routes_dirty = True
 
     # ------------------------------------------------------------------
@@ -542,6 +1119,46 @@ class Network:
         self._routes_dirty = False
         self._fanout_plans.clear()
         self._first_hops.clear()
+        for switch in self.switches.values():
+            switch._fwd.clear()
+
+    def _settle_ingress(self) -> None:
+        """Quiesce hook: bring every lazy lane up to the current instant.
+
+        Grid-armed switch drains may still be pending for arrivals already
+        due, so force-forward those first — repeatedly, because one
+        switch's forwards can land in another's lanes — then replay every
+        due host backlog, then refresh the virtual armed-flush flags (a
+        lane head's ``p_ref`` may have passed without any event touching
+        the lane).
+        """
+        now = self.loop._now
+        loop = self.loop
+        switches = [s for s in self.switches.values() if s._lanes]
+        changed = True
+        while changed:
+            changed = False
+            for switch in switches:
+                for lane in switch._lanes:
+                    if lane.q and lane.q[0][0] <= now:
+                        switch._drain_to(now, now)
+                        changed = True
+                        break
+        for host in self.hosts.values():
+            if host._in_armed_at is not None:
+                host._pull(now)
+            q = host._in_q
+            new = 1 if (q and q[0][1] <= now) else 0
+            if new != host._lane_live:
+                loop._live += new - host._lane_live
+                host._lane_live = new
+        for switch in switches:
+            for lane in switch._lanes:
+                q = lane.q
+                new = 1 if (q and q[0][1] <= now) else 0
+                if new != lane.ref_live:
+                    loop._live += new - lane.ref_live
+                    lane.ref_live = new
 
     def next_hop(self, src: str, dst: str) -> str:
         if self._routes_dirty:
@@ -577,7 +1194,7 @@ class Network:
         loopback handling and routing can never drift apart.
         """
         now = self.loop.now
-        self._deliver_fanout(src, (dst,), _Repeat(payload), _Repeat(size_bytes), _Repeat(now))
+        self._deliver_fanout(src, ((dst, payload, size_bytes, now),))
 
     def multicast(self, src: str, dsts: Sequence[str], payload: Any, size_bytes: int) -> None:
         """Inject one logical ``payload`` from ``src`` to every host in ``dsts``.
@@ -594,7 +1211,7 @@ class Network:
         plan = self._fanout_plan(src, dsts)  # validates the group up front
         now = self.loop.now
         self._deliver_fanout(
-            src, dsts, _Repeat(payload), _Repeat(size_bytes), _Repeat(now), plan=plan
+            src, [(dst, payload, size_bytes, now) for dst in dsts], plan=plan
         )
 
     def _loopback_queue(self, dst: str) -> DeliveryQueue:
@@ -642,18 +1259,16 @@ class Network:
     def _deliver_fanout(
         self,
         src: str,
-        dsts: Sequence[str],
-        payloads: Sequence[Any],
-        sizes: Sequence[int],
-        starts: Sequence[float],
+        items: Sequence[Tuple[str, Any, int, float]],
         plan: Optional[Dict[str, Optional[Link]]] = None,
     ) -> None:
         """Hand a flushed transmit group to first-hop links in one pass.
 
-        ``starts[i]`` is the CPU-finish instant destination ``i``'s packet
-        would have been injected at by a dedicated event; it is forwarded
-        to :meth:`Link.transmit_at` (or added to the loopback latency) so
-        the per-destination schedule is bit-identical to sequential sends.
+        Each item is ``(dst, payload, size_bytes, start)`` where ``start``
+        is the CPU-finish instant that destination's packet would have been
+        injected at by a dedicated event; it is forwarded to
+        :meth:`Link.transmit_at` (or added to the loopback latency) so the
+        per-destination schedule is bit-identical to sequential sends.
         Routing uses the group's fan-out ``plan`` when the caller resolved
         one (:meth:`multicast`, whose destination sets are stable), and
         the per-pair first-hop cache otherwise (coalesced transmit groups,
@@ -666,18 +1281,16 @@ class Network:
         hosts = self.hosts
         first_hop = self._first_hop
         packet_ids = self._packet_ids
-        for i, dst in enumerate(dsts):
+        for dst, payload, size_bytes, when in items:
             link = plan[dst] if plan is not None else first_hop(src, dst)
-            target = hosts[dst]
-            if target.failed:
+            if hosts[dst].failed:
                 self.dropped_packets += 1
                 continue
-            when = starts[i]
             packet = Packet(
                 src=src,
                 dst=dst,
-                payload=payloads[i],
-                size_bytes=sizes[i],
+                payload=payload,
+                size_bytes=size_bytes,
                 packet_id=next(packet_ids),
                 sent_at=when,
             )

@@ -84,6 +84,58 @@ class TestRunner:
         assert ExperimentProfile.wan().latency_threshold_s > ExperimentProfile.quick().latency_threshold_s
 
 
+class TestPerfTrackingPoints:
+    def test_engine_microbench_digest_is_deterministic(self):
+        from dataclasses import replace
+
+        from repro.bench.runner import PERF_POINTS, run_perf_tracking
+
+        point = replace(PERF_POINTS["engine-microbench"], engine_ops=2000, repeats=1)
+        first = run_perf_tracking(point)
+        second = run_perf_tracking(point)
+        assert first["commit_log_sha256"]
+        assert first["commit_log_sha256"] == second["commit_log_sha256"]
+        assert first["events"] == second["events"] > 2000
+
+    def test_asyncio_smoke_point_answers_requests(self):
+        from dataclasses import replace
+
+        from repro.bench.runner import PERF_POINTS, run_perf_tracking
+
+        point = replace(PERF_POINTS["asyncio-smoke"], asyncio_ops=6, repeats=1)
+        result = run_perf_tracking(point)
+        assert result["requests_completed"] == 6
+        # Real concurrency: no digest, so the CI digest gate is skipped.
+        assert result["commit_log_sha256"] == ""
+        assert result["wall_s"] > 0
+
+    def test_empty_digest_skips_the_digest_gate(self, tmp_path):
+        from repro.bench.runner import update_perf_report
+
+        path = str(tmp_path / "report.json")
+        base = {"wall_s": 1.0, "events_per_s": 100, "commit_log_sha256": ""}
+        update_perf_report(path, "p", dict(base), set_baseline=True)
+        entry = update_perf_report(path, "p", dict(base, events_per_s=90))
+        assert "commit_logs_match_baseline" not in entry
+
+    def test_profile_perf_point_records_top_functions(self, tmp_path):
+        import json
+        from dataclasses import replace
+
+        from repro.bench.runner import PERF_POINTS, profile_perf_point
+
+        path = str(tmp_path / "report.json")
+        point = replace(PERF_POINTS["engine-microbench"], engine_ops=2000)
+        rows = profile_perf_point(point, "engine-microbench", path, top_n=5)
+        assert 1 <= len(rows) <= 5
+        assert all("cumtime_s" in row for row in rows)
+        with open(path, encoding="utf-8") as fh:
+            report = json.load(fh)
+        assert "engine-microbench" in report["profiles"]
+        # Profiled wall-clock is inflated: it must not create a baseline.
+        assert "engine-microbench" not in report.get("points", {})
+
+
 class TestReport:
     def test_format_table_alignment(self):
         text = format_table(["name", "value"], [["a", 1], ["longer-name", 22]])

@@ -1,0 +1,204 @@
+"""Timer-wheel engine edge cases and the wheel-vs-heap differential bar.
+
+The wheel (:class:`EventLoop`) must execute any schedule stream in the
+identical ``(time, priority, seq)`` order as the global-binary-heap
+reference (:class:`HeapEventLoop`) — the byte-identical-log contract
+rests on it.  These tests pin the edges where a calendar queue can
+plausibly diverge: cancellation of entries already heapified into the
+current bucket, same-tick tie ordering, the overflow horizon and its
+cascade, wrap collisions, and ``__len__`` under lazy deletion.
+"""
+
+import pytest
+
+from repro.bench.runner import _drive_engine_mix
+from repro.sim.engine import EventLoop, HeapEventLoop
+
+HORIZON_S = EventLoop.BUCKET_WIDTH * EventLoop.NBUCKETS
+
+
+class TestCurrentBucketCancellation:
+    def test_callback_cancels_sibling_in_same_bucket(self):
+        """Cancelling an event already heapified into the current bucket."""
+        loop = EventLoop()
+        fired = []
+        width = EventLoop.BUCKET_WIDTH
+        # Both land in the same bucket; the first callback cancels the second
+        # after it has been moved into the loop's current heap.
+        sibling = loop.schedule_at(width * 10.5, lambda: fired.append("sibling"))
+        loop.schedule_at(width * 10.2, lambda: sibling.cancel(), priority=1)
+        loop.run()
+        assert fired == []
+        assert len(loop) == 0
+
+    def test_callback_cancels_event_at_same_instant(self):
+        loop = EventLoop()
+        fired = []
+        victim = loop.schedule_at(1e-5, lambda: fired.append("victim"), priority=9)
+        loop.schedule_at(1e-5, lambda: victim.cancel(), priority=1)
+        loop.run()
+        assert fired == []
+
+    def test_self_cancel_after_firing_does_not_double_decrement(self):
+        loop = EventLoop()
+        holder = {}
+        other = loop.schedule_at(2e-5, lambda: None)
+
+        def fire_and_cancel_self():
+            holder["event"].cancel()  # already consumed: must be a no-op
+
+        holder["event"] = loop.schedule_at(1e-5, fire_and_cancel_self)
+        assert len(loop) == 2
+        loop.run_until(1.5e-5)
+        assert len(loop) == 1  # only ``other`` remains live
+        other.cancel()
+        assert len(loop) == 0
+
+
+class TestSameTickOrdering:
+    def test_priority_then_seq_within_one_bucket_matches_heap(self):
+        """Many events at identical instants drain in (priority, seq) order."""
+        import random
+
+        rng = random.Random(13)
+        when = EventLoop.BUCKET_WIDTH * 7.5
+        plan = [(rng.randrange(16), index) for index in range(200)]
+        orders = []
+        for loop_cls in (EventLoop, HeapEventLoop):
+            loop = loop_cls()
+            order = []
+            for priority, index in plan:
+                loop.schedule_at(when, lambda i=index: order.append(i), priority=priority)
+            loop.run()
+            orders.append(order)
+        assert orders[0] == orders[1]
+        assert sorted(orders[0]) == list(range(200))
+
+    def test_fast_and_wrapped_entries_interleave_by_seq(self):
+        """schedule_fast entries share the seq counter with Event entries."""
+        for loop_cls in (EventLoop, HeapEventLoop):
+            loop = loop_cls()
+            order = []
+            loop.schedule_fast(1e-5, lambda: order.append("fast-0"), 5)
+            loop.schedule_at(1e-5, lambda: order.append("event-1"), priority=5)
+            loop.schedule_fast(1e-5, lambda: order.append("fast-2"), 5)
+            loop.run()
+            assert order == ["fast-0", "event-1", "fast-2"], loop_cls.__name__
+
+
+class TestOverflowCascade:
+    def test_event_just_inside_horizon_stays_in_wheel(self):
+        loop = EventLoop()
+        loop.schedule_at(HORIZON_S - EventLoop.BUCKET_WIDTH, lambda: None)
+        assert not loop._overflow
+        assert loop._wheel_count == 1
+
+    def test_event_at_horizon_goes_to_overflow_and_fires(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule_at(HORIZON_S, lambda: fired.append(loop.now))
+        assert len(loop._overflow) == 1
+        loop.run()
+        assert fired == [HORIZON_S]
+        assert loop._ovf_tick > 1 << 61  # back to the empty sentinel
+
+    def test_cascade_preserves_order_across_the_boundary(self):
+        """In-wheel and overflow events interleaved by time fire in order."""
+        loop = EventLoop()
+        order = []
+        times = [
+            HORIZON_S - 2 * EventLoop.BUCKET_WIDTH,  # wheel
+            HORIZON_S + 3 * EventLoop.BUCKET_WIDTH,  # overflow
+            HORIZON_S * 2.5,  # deep overflow
+            EventLoop.BUCKET_WIDTH * 3.5,  # near wheel
+        ]
+        for when in times:
+            loop.schedule_at(when, lambda w=when: order.append(w))
+        loop.run()
+        assert order == sorted(times)
+
+    def test_wrap_collision_routes_to_overflow(self):
+        """Two ticks NBUCKETS apart share a slot; the later one must not mix."""
+        loop = EventLoop()
+        order = []
+        near = EventLoop.BUCKET_WIDTH * 5.5
+        far = near + HORIZON_S  # same slot index, different tick
+        loop.schedule_at(near, lambda: order.append("near"))
+        # ``far`` is beyond the horizon -> overflow at insert time.
+        loop.schedule_at(far, lambda: order.append("far"))
+        loop.run()
+        assert order == ["near", "far"]
+
+    def test_chained_scheduling_past_the_horizon(self):
+        """Callbacks re-arming past the horizon keep cascading correctly."""
+        loop = EventLoop()
+        fired = []
+
+        def chain():
+            fired.append(loop.now)
+            if len(fired) < 5:
+                loop.schedule(HORIZON_S * 1.5, chain)
+
+        loop.schedule(HORIZON_S * 1.5, chain)
+        loop.run()
+        assert len(fired) == 5
+        assert fired == sorted(fired)
+
+
+class TestLenWithLazyDeletion:
+    def test_len_after_cancel_in_each_region(self):
+        """Cancelled entries stay in their structures but leave the count."""
+        loop = EventLoop()
+        in_wheel = loop.schedule_at(EventLoop.BUCKET_WIDTH * 3.5, lambda: None)
+        in_overflow = loop.schedule_at(HORIZON_S * 2, lambda: None)
+        live = loop.schedule_at(EventLoop.BUCKET_WIDTH * 9.5, lambda: None)
+        assert len(loop) == 3
+        in_wheel.cancel()
+        in_overflow.cancel()
+        assert len(loop) == 1
+        assert loop._wheel_count + len(loop._overflow) >= 2  # ghosts remain
+        live.cancel()
+        assert len(loop) == 0
+        loop.run()  # draining ghosts must not fire or go negative
+        assert len(loop) == 0
+
+    def test_double_cancel_is_idempotent(self):
+        loop = EventLoop()
+        event = loop.schedule_at(1e-5, lambda: None)
+        loop.schedule_at(2e-5, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert len(loop) == 1
+
+
+class TestDifferentialWheelVsHeap:
+    """Both engines on the same randomized schedule/cancel/drain stream."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 7, 42])
+    @pytest.mark.parametrize("hostile", [False, True])
+    def test_identical_fire_traces(self, seed, hostile):
+        wheel_loop, wheel_trace = _drive_engine_mix(EventLoop, 1500, seed, hostile)
+        heap_loop, heap_trace = _drive_engine_mix(HeapEventLoop, 1500, seed, hostile)
+        assert wheel_trace == heap_trace
+        assert wheel_loop.processed_events == heap_loop.processed_events
+        assert wheel_loop.now == heap_loop.now
+        assert len(wheel_loop) == len(heap_loop) == 0
+
+    def test_run_until_window_edges_agree(self):
+        """Clock, live count and processed count agree at window edges."""
+        import random
+
+        for seed in (3, 11):
+            rng = random.Random(seed)
+            plan = [(rng.random() * 0.08, rng.randrange(12)) for _ in range(400)]
+            states = []
+            for loop_cls in (EventLoop, HeapEventLoop):
+                loop = loop_cls()
+                for when, priority in plan:
+                    loop.schedule_at(when, lambda: None, priority=priority)
+                snapshots = []
+                for edge in (0.01, 0.02, 0.05, 0.1):
+                    loop.run_until(edge)
+                    snapshots.append((loop.now, loop.processed_events, len(loop)))
+                states.append(snapshots)
+            assert states[0] == states[1]
