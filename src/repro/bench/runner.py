@@ -15,6 +15,7 @@ The runner follows the paper's methodology (§8.1 "Performance metrics"):
 
 from __future__ import annotations
 
+import gc
 import hashlib
 import json
 import random
@@ -673,12 +674,25 @@ def run_perf_tracking(point: PerfPoint) -> Dict[str, Any]:
     events = 0
     digest = ""
     completed = 0
-    for _ in range(max(1, point.repeats)):
-        start = time.perf_counter()
-        events, digest, completed = run()
-        wall = time.perf_counter() - start
-        if best_wall is None or wall < best_wall:
-            best_wall = wall
+    # Cyclic-GC pauses are pure noise on the measured region (the simulator
+    # allocates millions of short-lived tuples/messages, refcounting frees
+    # them all): disable collection and freeze the pre-run heap out of
+    # generation scans for the timed repeats, restore afterwards.
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    gc.freeze()
+    try:
+        for _ in range(max(1, point.repeats)):
+            start = time.perf_counter()
+            events, digest, completed = run()
+            wall = time.perf_counter() - start
+            if best_wall is None or wall < best_wall:
+                best_wall = wall
+    finally:
+        gc.unfreeze()
+        if gc_was_enabled:
+            gc.enable()
+        gc.collect()
 
     tracemalloc.start()
     try:
@@ -703,6 +717,7 @@ def run_perf_tracking(point: PerfPoint) -> Dict[str, Any]:
         "requests_completed": completed,
         "commit_log_sha256": digest,
         "calibration_ops_per_s": measure_host_calibration(),
+        "gc_disabled_during_measurement": True,
     }
 
 
@@ -803,6 +818,62 @@ def profile_perf_point(
     return rows
 
 
+def diff_profiles(
+    old_report: Dict[str, Any], new_report: Dict[str, Any], key: str, top_n: int = 10
+) -> Dict[str, Any]:
+    """Diff two committed profile snapshots of one perf point.
+
+    Takes two report dicts (the ``BENCH_*.json`` shape), matches the
+    ``profiles[key].top_by_cumtime`` rows by function (file:line noise is
+    stripped down to ``file(name)`` so pure line drift doesn't break the
+    match), and returns the top cumulative-time regressions and
+    improvements plus functions that entered or left the snapshot.  This
+    is how a perf PR cites its evidence: profile before, profile after,
+    diff the committed snapshots.
+    """
+
+    def rows(report: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
+        section = report.get("profiles", {}).get(key)
+        if section is None:
+            raise KeyError(f"report has no profile snapshot for {key!r}")
+        table: Dict[str, Dict[str, Any]] = {}
+        for row in section["top_by_cumtime"]:
+            func = row["function"]
+            path, _, name = func.partition(":")
+            ident = f"{path}({name.partition('(')[2]}" if "(" in name else func
+            table[ident] = row
+        return table
+
+    old_rows = rows(old_report)
+    new_rows = rows(new_report)
+    deltas = []
+    for ident in old_rows.keys() & new_rows.keys():
+        old, new = old_rows[ident], new_rows[ident]
+        deltas.append(
+            {
+                "function": new["function"],
+                "cumtime_s_old": old["cumtime_s"],
+                "cumtime_s_new": new["cumtime_s"],
+                "cumtime_s_delta": round(new["cumtime_s"] - old["cumtime_s"], 4),
+                "calls_old": old["calls"],
+                "calls_new": new["calls"],
+            }
+        )
+    deltas.sort(key=lambda row: row["cumtime_s_delta"])
+    return {
+        "point": key,
+        "note": "profiled wall-clock; deltas also reflect machine noise between snapshots",
+        "improvements": [d for d in deltas if d["cumtime_s_delta"] < 0][:top_n],
+        "regressions": [d for d in reversed(deltas) if d["cumtime_s_delta"] > 0][:top_n],
+        "entered_top": sorted(
+            (new_rows[i]["function"] for i in new_rows.keys() - old_rows.keys())
+        ),
+        "left_top": sorted(
+            (old_rows[i]["function"] for i in old_rows.keys() - new_rows.keys())
+        ),
+    }
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI for the perf-tracking mode (used by the CI perf smoke step).
 
@@ -861,6 +932,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "point's baseline/current entries and no gate is applied",
     )
     parser.add_argument(
+        "--profile-diff",
+        nargs=2,
+        default=None,
+        metavar=("OLD", "NEW"),
+        help="diff two committed profile snapshots (report files with a "
+        "'profiles' section, e.g. the previous commit's BENCH file via "
+        "git show and the current one) for --perf-point: prints the top "
+        "cumtime regressions and improvements per function; no workload "
+        "is run and no gate is applied",
+    )
+    parser.add_argument(
         "--shard-saturation",
         action="store_true",
         help="run the sharded throughput-scaling sweep instead of a perf point",
@@ -899,6 +981,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"ERROR: {top}-shard scaling {scaling:.2f}x below {args.min_scaling}x")
             return 1
         print(f"shard-saturation ok: {top}-shard scaling {scaling:.2f}x, all checks passed")
+        return 0
+
+    if args.profile_diff is not None:
+        old_path, new_path = args.profile_diff
+        with open(old_path, "r", encoding="utf-8") as fh:
+            old_report = json.load(fh)
+        with open(new_path, "r", encoding="utf-8") as fh:
+            new_report = json.load(fh)
+        try:
+            diff = diff_profiles(old_report, new_report, args.perf_point)
+        except KeyError as exc:
+            print(f"ERROR: {exc.args[0]}")
+            return 2
+        print(json.dumps(diff, indent=2))
         return 0
 
     point = PERF_POINTS[args.perf_point]

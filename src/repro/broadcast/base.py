@@ -14,7 +14,7 @@ __all__ = ["BroadcastEnvelope", "ReliableBroadcast"]
 _envelope_ids = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class BroadcastEnvelope:
     """Wrapper identifying a payload as intra-super-leaf broadcast traffic."""
 

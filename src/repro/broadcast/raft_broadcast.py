@@ -133,6 +133,8 @@ class RaftBroadcast(ReliableBroadcast):
 class _ForwardedBroadcast:
     """Payload forwarded to the current leader of the sender's group."""
 
+    __slots__ = ("group_id", "payload")
+
     def __init__(self, group_id: str, payload: Any) -> None:
         self.group_id = group_id
         self.payload = payload

@@ -22,7 +22,7 @@ from repro.runtime.base import Runtime, Timer
 __all__ = ["Heartbeat", "JoinRequest", "FailureDetector", "MembershipManager"]
 
 
-@dataclass
+@dataclass(slots=True)
 class Heartbeat:
     """Periodic liveness beacon exchanged between super-leaf peers."""
 
@@ -33,7 +33,7 @@ class Heartbeat:
         return 24
 
 
-@dataclass
+@dataclass(slots=True)
 class JoinRequest:
     """Request from a (re)joining node to the members of its super-leaf."""
 
@@ -44,7 +44,7 @@ class JoinRequest:
         return 48
 
 
-@dataclass
+@dataclass(slots=True)
 class JoinAck:
     """Acknowledgement carrying the state a joining node needs to catch up."""
 

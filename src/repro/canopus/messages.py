@@ -44,7 +44,7 @@ class RequestType(enum.Enum):
     WRITE = "write"
 
 
-@dataclass
+@dataclass(slots=True)
 class ClientRequest:
     """A key-value read or write submitted by a client to one Canopus node."""
 
@@ -68,7 +68,7 @@ class ClientRequest:
         return f"<{self.op.value} #{self.request_id} {self.key}>"
 
 
-@dataclass
+@dataclass(slots=True)
 class ClientReply:
     """Reply returned to the client once its request is served."""
 
@@ -85,7 +85,7 @@ class ClientReply:
         return CLIENT_MESSAGE_BYTES
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MembershipUpdate:
     """A join or leave event piggybacked on proposals (§4.6)."""
 
@@ -97,7 +97,7 @@ class MembershipUpdate:
         return 32
 
 
-@dataclass
+@dataclass(slots=True)
 class Proposal:
     """A Canopus proposal message.
 
@@ -132,7 +132,7 @@ class Proposal:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class ProposalRequest:
     """Request from a super-leaf representative for a remote vnode's state."""
 

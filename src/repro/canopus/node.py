@@ -142,6 +142,18 @@ class CanopusNode:
         self.running = False
         self.crashed = False
 
+        #: Per-type handler table replacing the delivery isinstance chain;
+        #: anything not listed falls through to the reliable-broadcast
+        #: layer (whose message types depend on the broadcast mode).
+        self._dispatch = {
+            ClientRequest: self._on_client_request,
+            ProposalRequest: self._on_proposal_request,
+            # Direct (non-broadcast) proposal: a reply to a proposal-request.
+            Proposal: self._on_fetched_proposal,
+            Heartbeat: self.failure_detector.on_message,
+            JoinRequest: self._on_join_request,
+        }
+
         runtime.set_handler(self.on_message)
 
     # ==================================================================
@@ -212,17 +224,9 @@ class CanopusNode:
             return
         self.failure_detector.observe(sender)
 
-        if isinstance(message, ClientRequest):
-            self._on_client_request(sender, message)
-        elif isinstance(message, ProposalRequest):
-            self._on_proposal_request(sender, message)
-        elif isinstance(message, Proposal):
-            # Direct (non-broadcast) proposal: a reply to a proposal-request.
-            self._on_fetched_proposal(sender, message)
-        elif isinstance(message, Heartbeat):
-            self.failure_detector.on_message(sender, message)
-        elif isinstance(message, JoinRequest):
-            self._on_join_request(sender, message)
+        handler = self._dispatch.get(message.__class__)
+        if handler is not None:
+            handler(sender, message)
         elif self.broadcast.handles(message):
             self.broadcast.on_message(sender, message)
         # Unknown messages are ignored (forward compatibility).

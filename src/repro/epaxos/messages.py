@@ -18,7 +18,7 @@ _HEADER_BYTES = 56
 _COMMAND_ENTRY_BYTES = 48
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class InstanceId:
     """EPaxos instance identifier: (command-leader replica, slot)."""
 
@@ -33,7 +33,7 @@ def _batch_bytes(commands: Tuple[ClientRequest, ...]) -> int:
     return _COMMAND_ENTRY_BYTES * len(commands)
 
 
-@dataclass
+@dataclass(slots=True)
 class PreAccept:
     """Phase-1 message from the command leader to the fast quorum."""
 
@@ -47,7 +47,7 @@ class PreAccept:
         return _HEADER_BYTES + _batch_bytes(self.commands) + 16 * len(self.deps)
 
 
-@dataclass
+@dataclass(slots=True)
 class PreAcceptOK:
     """Reply to PreAccept carrying the replica's view of seq/deps."""
 
@@ -61,7 +61,7 @@ class PreAcceptOK:
         return _HEADER_BYTES + 16 * len(self.deps)
 
 
-@dataclass
+@dataclass(slots=True)
 class Accept:
     """Phase-2 (slow path) message fixing the union seq/deps."""
 
@@ -75,7 +75,7 @@ class Accept:
         return _HEADER_BYTES + _batch_bytes(self.commands) + 16 * len(self.deps)
 
 
-@dataclass
+@dataclass(slots=True)
 class AcceptOK:
     """Reply to Accept."""
 
@@ -86,7 +86,7 @@ class AcceptOK:
         return _HEADER_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class Commit:
     """Commit notification broadcast to all replicas."""
 

@@ -33,6 +33,10 @@ from repro.sim.topology import Topology
 
 __all__ = ["EPaxosConfig", "EPaxosNode", "EPaxosCluster", "build_epaxos_sim_cluster"]
 
+#: Shared empty dependency set: at 0% interference every instance carries
+#: it, so one interned object serves the whole run.
+_EMPTY_DEPS: FrozenSet["InstanceId"] = frozenset()
+
 
 @dataclass
 class EPaxosConfig:
@@ -56,7 +60,7 @@ class EPaxosConfig:
     conflict_tracking: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class _Instance:
     instance: InstanceId
     commands: Tuple[ClientRequest, ...]
@@ -68,7 +72,7 @@ class _Instance:
     leader: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class _Probe:
     sender: str
     sent_at: float
@@ -77,7 +81,7 @@ class _Probe:
         return 16
 
 
-@dataclass
+@dataclass(slots=True)
 class _ProbeReply:
     sender: str
     echoed_at: float
@@ -119,7 +123,15 @@ class EPaxosNode:
         self._batch_timer: Optional[Timer] = None
         self.request_senders: Dict[int, str] = {}
 
-        self.rtt_estimates: Dict[str, float] = {peer: 0.001 for peer in self.peers()}
+        #: Replica set minus self, fixed at init: the shared fan-out group
+        #: every broadcast reuses (``Transport.broadcast`` memoizes the
+        #: filtered destination list per tuple).
+        self._peers: Tuple[str, ...] = tuple(r for r in self.replicas if r != self.node_id)
+        self.rtt_estimates: Dict[str, float] = {peer: 0.001 for peer in self._peers}
+        #: rtt-sorted peers, rebuilt only after an estimate changes (the
+        #: sort order decides per-destination send order, which the
+        #: modelled CPU/link schedule — and hence the digests — depend on).
+        self._sorted_peers: Optional[Tuple[str, ...]] = None
         self._probe_timer: Optional[Timer] = None
 
         self.stats = {
@@ -131,6 +143,19 @@ class EPaxosNode:
         }
         self.running = False
         self.crashed = False
+        #: Per-type handler table; replaces the isinstance chain on the
+        #: delivery hot path (exact-type dispatch is safe because protocol
+        #: messages are concrete final classes).
+        self._dispatch: Dict[type, Callable[[str, object], None]] = {
+            ClientRequest: self._on_client_request,
+            PreAccept: self._on_preaccept,
+            PreAcceptOK: self._on_preaccept_ok,
+            Accept: self._on_accept,
+            AcceptOK: self._on_accept_ok,
+            Commit: self._on_commit,
+            _Probe: self._on_probe,
+            _ProbeReply: self._on_probe_reply,
+        }
         runtime.set_handler(self.on_message)
 
     # ------------------------------------------------------------------
@@ -156,8 +181,8 @@ class EPaxosNode:
         self.stop()
 
     # ------------------------------------------------------------------
-    def peers(self) -> List[str]:
-        return [r for r in self.replicas if r != self.node_id]
+    def peers(self) -> Tuple[str, ...]:
+        return self._peers
 
     def fast_quorum_size(self) -> int:
         """Fast-quorum size F + floor((F+1)/2) with N = 2F+1 replicas."""
@@ -167,10 +192,15 @@ class EPaxosNode:
     def slow_quorum_size(self) -> int:
         return len(self.replicas) // 2
 
-    def _quorum_peers(self, size: int) -> List[str]:
-        peers = self.peers()
+    def _quorum_peers(self, size: int) -> Tuple[str, ...]:
+        peers = self._peers
         if self.config.latency_probing:
-            peers = sorted(peers, key=lambda p: self.rtt_estimates.get(p, 1.0))
+            peers = self._sorted_peers
+            if peers is None:
+                estimates = self.rtt_estimates
+                peers = self._sorted_peers = tuple(
+                    sorted(self._peers, key=lambda p: estimates.get(p, 1.0))
+                )
         if self.config.thrifty:
             return peers[:size]
         return peers
@@ -223,7 +253,7 @@ class EPaxosNode:
 
     def _compute_deps(self, commands: Tuple[ClientRequest, ...]) -> FrozenSet[InstanceId]:
         if not self.config.conflict_tracking:
-            return frozenset()
+            return _EMPTY_DEPS
         deps: Set[InstanceId] = set()
         for command in commands:
             if command.is_write():
@@ -245,68 +275,89 @@ class EPaxosNode:
     def on_message(self, sender: str, message: object) -> None:
         if self.crashed:
             return
-        if isinstance(message, ClientRequest):
-            self._on_client_request(sender, message)
-        elif isinstance(message, PreAccept):
-            self._on_preaccept(sender, message)
-        elif isinstance(message, PreAcceptOK):
-            self._on_preaccept_ok(message)
-        elif isinstance(message, Accept):
-            self._on_accept(sender, message)
-        elif isinstance(message, AcceptOK):
-            self._on_accept_ok(message)
-        elif isinstance(message, Commit):
-            self._on_commit(message)
-        elif isinstance(message, _Probe):
-            reply = _ProbeReply(sender=self.node_id, echoed_at=message.sent_at)
-            self.transport.send(sender, reply, reply.wire_size())
-        elif isinstance(message, _ProbeReply):
-            rtt = self.runtime.now() - message.echoed_at
-            previous = self.rtt_estimates.get(sender, rtt)
-            self.rtt_estimates[sender] = 0.8 * previous + 0.2 * rtt
+        handler = self._dispatch.get(message.__class__)
+        if handler is not None:
+            handler(sender, message)
+
+    def _on_probe(self, sender: str, message: _Probe) -> None:
+        reply = _ProbeReply(sender=self.node_id, echoed_at=message.sent_at)
+        self.transport.send(sender, reply, reply.wire_size())
+
+    def _on_probe_reply(self, sender: str, message: _ProbeReply) -> None:
+        rtt = self.runtime.now() - message.echoed_at
+        previous = self.rtt_estimates.get(sender, rtt)
+        self.rtt_estimates[sender] = 0.8 * previous + 0.2 * rtt
+        self._sorted_peers = None  # rtt order may have changed
 
     # -- Acceptor side ---------------------------------------------------
     def _on_preaccept(self, sender: str, message: PreAccept) -> None:
-        local_deps = set(message.deps) | set(self._compute_deps(message.commands))
-        local_deps.discard(message.instance)
-        changed = frozenset(local_deps) != message.deps
+        deps = message.deps
+        if self.config.conflict_tracking:
+            key_deps = self.key_deps
+            local_deps = set(deps)
+            for command in message.commands:
+                if command.op is RequestType.WRITE:
+                    existing = key_deps.get(command.key)
+                    if existing is not None:
+                        local_deps.add(existing)
+            local_deps.discard(message.instance)
+            # Value comparison between set and frozenset; when nothing was
+            # added or discarded the leader's frozenset is reused as-is
+            # (no rebuild) — the dominant case at 0% interference.
+            changed = local_deps != deps
+            if changed:
+                deps = frozenset(local_deps)
+        else:
+            # No interference tracking: this replica never adds deps, and
+            # the leader never lists an instance in its own deps, so the
+            # attributes pass through untouched.
+            changed = False
         # The sequence number only grows when this replica knows of
         # interfering commands the leader missed (EPaxos §4.3.1); with the
         # paper's 0% interference workload it never changes.
         seq = max(message.seq, self.max_seq + 1) if changed else message.seq
-        self.max_seq = max(self.max_seq, seq)
+        if seq > self.max_seq:
+            self.max_seq = seq
+        instance_id = message.instance
         instance = _Instance(
-            instance=message.instance,
+            instance=instance_id,
             commands=message.commands,
             seq=seq,
-            deps=frozenset(local_deps),
+            deps=deps,
             status="preaccepted",
             leader=sender,
         )
-        self.instances[message.instance] = instance
-        self._record_interference(message.instance, message.commands)
+        self.instances[instance_id] = instance
+        if self.config.conflict_tracking:
+            self._record_interference(instance_id, message.commands)
         reply = PreAcceptOK(
-            instance=message.instance,
+            instance=instance_id,
             replica=self.node_id,
             seq=seq,
-            deps=frozenset(local_deps),
+            deps=deps,
             changed=changed,
         )
         self.transport.send(sender, reply, reply.wire_size())
 
-    def _on_preaccept_ok(self, message: PreAcceptOK) -> None:
+    def _on_preaccept_ok(self, sender: str, message: PreAcceptOK) -> None:
         instance = self.instances.get(message.instance)
         if instance is None or instance.status != "preaccepted" or instance.leader != self.node_id:
             return
-        instance.preaccept_replies.append(message)
+        replies = instance.preaccept_replies
+        replies.append(message)
         needed = self.fast_quorum_size()
-        if len(instance.preaccept_replies) < needed:
+        if len(replies) < needed:
             return
-        replies = instance.preaccept_replies[:needed]
-        if all(not reply.changed for reply in replies):
+        fast = True
+        for i in range(needed):
+            if replies[i].changed:
+                fast = False
+                break
+        if fast:
             self.stats["fast_path"] += 1
             self._commit_instance(instance)
         else:
+            replies = replies[:needed]
             # Slow path: union attributes and run the Accept phase.
             union_deps: Set[InstanceId] = set(instance.deps)
             seq = instance.seq
@@ -341,7 +392,7 @@ class EPaxosNode:
         reply = AcceptOK(instance=message.instance, replica=self.node_id)
         self.transport.send(sender, reply, reply.wire_size())
 
-    def _on_accept_ok(self, message: AcceptOK) -> None:
+    def _on_accept_ok(self, sender: str, message: AcceptOK) -> None:
         instance = self.instances.get(message.instance)
         if instance is None or instance.status != "accepted" or instance.leader != self.node_id:
             return
@@ -364,10 +415,10 @@ class EPaxosNode:
             seq=instance.seq,
             deps=instance.deps,
         )
-        self.transport.broadcast(self.peers(), commit, commit.wire_size())
+        self.transport.broadcast(self._peers, commit, commit.wire_size())
         self._execute(instance, reply_to_clients=True)
 
-    def _on_commit(self, message: Commit) -> None:
+    def _on_commit(self, sender: str, message: Commit) -> None:
         instance = self.instances.get(message.instance)
         if instance is None:
             instance = _Instance(
@@ -385,11 +436,12 @@ class EPaxosNode:
         if instance.status == "executed":
             return
         instance.status = "executed"
+        apply_command = self.apply_command
+        reads = 0
         for command in instance.commands:
-            value = self.apply_command(command)
-            self.stats["commands_executed"] += 1
-            if command.is_read():
-                self.stats["reads_served"] += 1
+            value = apply_command(command)
+            if command.op is RequestType.READ:
+                reads += 1
             if reply_to_clients:
                 sender = self.request_senders.pop(command.request_id, None)
                 reply = ClientReply(
@@ -406,6 +458,9 @@ class EPaxosNode:
                     self.on_reply(reply)
                 if sender is not None and sender != self.node_id:
                     self.transport.send(sender, reply, reply.wire_size())
+        stats = self.stats
+        stats["commands_executed"] += len(instance.commands)
+        stats["reads_served"] += reads
 
     # ------------------------------------------------------------------
     def _default_apply(self, command: ClientRequest) -> Optional[str]:
@@ -418,7 +473,7 @@ class EPaxosNode:
         if self.crashed:
             return
         probe = _Probe(sender=self.node_id, sent_at=self.runtime.now())
-        self.transport.broadcast(self.peers(), probe, probe.wire_size())
+        self.transport.broadcast(self._peers, probe, probe.wire_size())
 
     def executed_commands(self) -> List[int]:
         """Request ids of executed commands (order is per-replica arrival)."""

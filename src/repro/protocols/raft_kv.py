@@ -48,6 +48,7 @@ from repro.kvstore.store import KVStore
 from repro.protocols.base import ConsensusProtocol
 from repro.protocols.registry import register_protocol
 from repro.raft.log import LogEntry
+from repro.raft.messages import AppendEntries, AppendEntriesReply, RequestVote, RequestVoteReply
 from repro.raft.node import RaftConfig, RaftNode
 from repro.runtime.base import Runtime
 from repro.sim.topology import Topology
@@ -77,7 +78,7 @@ class RaftKVConfig:
     read_mode: str = "read_index"
 
 
-@dataclass
+@dataclass(slots=True)
 class _WriteForward:
     """A write travelling from the intake node to the Raft leader."""
 
@@ -89,7 +90,7 @@ class _WriteForward:
         return self.request.wire_size() + 24
 
 
-@dataclass
+@dataclass(slots=True)
 class _ReadForward:
     """A read travelling from the intake node to the Raft leader.
 
@@ -152,6 +153,19 @@ class RaftKVNode:
                 initial_leader=self.members[0],
             ),
         )
+        #: Per-type handler table replacing the delivery isinstance chain;
+        #: raft's own message types route straight to the group (it is the
+        #: only group behind this endpoint, so ``handles`` reduces to a
+        #: group-id check done by the raft node itself).
+        self._dispatch = {
+            ClientRequest: self._on_client_request,
+            _WriteForward: self._on_write_forward,
+            _ReadForward: self._on_read_forward,
+            RequestVote: self._on_raft_message,
+            RequestVoteReply: self._on_raft_message,
+            AppendEntries: self._on_raft_message,
+            AppendEntriesReply: self._on_raft_message,
+        }
         runtime.set_handler(self.on_message)
 
     # ------------------------------------------------------------------
@@ -172,32 +186,37 @@ class RaftKVNode:
     def on_message(self, sender: str, message: Any) -> None:
         if self.crashed:
             return
-        if isinstance(message, ClientRequest):
-            self._on_client_request(sender, message)
-        elif isinstance(message, _WriteForward):
-            if self.raft.is_leader:
-                self.raft.propose((message.origin, message.request))
-            elif message.hops < len(self.members):
-                # Leadership moved since the origin forwarded: chase the
-                # current view, bounded so stale views cannot loop forever.
-                message.hops += 1
-                leader = self.raft.leader_id or self.members[0]
-                if leader != self.node_id:
-                    self.transport.send(leader, message, message.wire_size())
-        elif isinstance(message, _ReadForward):
-            if self.raft.is_leader:
-                self._leader_read(message.client, message.request)
-            elif message.hops < len(self.members):
-                message.hops += 1
-                leader = self.raft.leader_id or self.members[0]
-                if leader != self.node_id:
-                    self.transport.send(leader, message, message.wire_size())
-                else:
-                    # The chase ended at a non-leader: fall back to the
-                    # serve path, which waits out the election and retries.
-                    self._serve_read(message.client, message.request)
-        elif self.raft.handles(message):
+        handler = self._dispatch.get(message.__class__)
+        if handler is not None:
+            handler(sender, message)
+
+    def _on_raft_message(self, sender: str, message: Any) -> None:
+        if message.group_id == self.raft.group_id:
             self.raft.on_message(sender, message)
+
+    def _on_write_forward(self, sender: str, message: "_WriteForward") -> None:
+        if self.raft.is_leader:
+            self.raft.propose((message.origin, message.request))
+        elif message.hops < len(self.members):
+            # Leadership moved since the origin forwarded: chase the
+            # current view, bounded so stale views cannot loop forever.
+            message.hops += 1
+            leader = self.raft.leader_id or self.members[0]
+            if leader != self.node_id:
+                self.transport.send(leader, message, message.wire_size())
+
+    def _on_read_forward(self, sender: str, message: "_ReadForward") -> None:
+        if self.raft.is_leader:
+            self._leader_read(message.client, message.request)
+        elif message.hops < len(self.members):
+            message.hops += 1
+            leader = self.raft.leader_id or self.members[0]
+            if leader != self.node_id:
+                self.transport.send(leader, message, message.wire_size())
+            else:
+                # The chase ended at a non-leader: fall back to the
+                # serve path, which waits out the election and retries.
+                self._serve_read(message.client, message.request)
 
     def _on_client_request(self, sender: str, request: ClientRequest) -> None:
         request.submitted_at = request.submitted_at or self.runtime.now()

@@ -8,7 +8,7 @@ from typing import Any, List, Optional, Sequence, Tuple
 __all__ = ["LogEntry", "RaftLog"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LogEntry:
     """One entry of the replicated log."""
 

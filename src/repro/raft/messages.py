@@ -15,7 +15,7 @@ __all__ = ["RequestVote", "RequestVoteReply", "AppendEntries", "AppendEntriesRep
 _HEADER_BYTES = 48
 
 
-@dataclass
+@dataclass(slots=True)
 class RequestVote:
     """Candidate solicits votes (Raft §5.2)."""
 
@@ -29,7 +29,7 @@ class RequestVote:
         return _HEADER_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class RequestVoteReply:
     """Response to :class:`RequestVote`."""
 
@@ -42,7 +42,7 @@ class RequestVoteReply:
         return _HEADER_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class AppendEntries:
     """Leader log replication / heartbeat (Raft §5.3).
 
@@ -73,7 +73,7 @@ class AppendEntries:
         return _HEADER_BYTES + entry_bytes
 
 
-@dataclass
+@dataclass(slots=True)
 class AppendEntriesReply:
     """Follower response to :class:`AppendEntries`."""
 

@@ -100,6 +100,13 @@ class RaftNode:
         self._election_timer: Optional[Timer] = None
         self._heartbeat_timer: Optional[Timer] = None
         self.stopped = False
+        #: Per-type handler table replacing the delivery isinstance chain.
+        self._dispatch = {
+            RequestVote: self._on_request_vote,
+            RequestVoteReply: self._on_request_vote_reply,
+            AppendEntries: self._on_append_entries,
+            AppendEntriesReply: self._on_append_entries_reply,
+        }
 
         if self.config.initial_leader == self.node_id:
             self._become_leader(initial=True)
@@ -160,10 +167,7 @@ class RaftNode:
         return self.is_leader and self.runtime.now() < self.lease_valid_until
 
     def handles(self, message: Any) -> bool:
-        return (
-            isinstance(message, (RequestVote, RequestVoteReply, AppendEntries, AppendEntriesReply))
-            and message.group_id == self.group_id
-        )
+        return message.__class__ in self._dispatch and message.group_id == self.group_id
 
     def stop(self) -> None:
         """Stop timers; used on shutdown or when the group is disbanded."""
@@ -189,14 +193,9 @@ class RaftNode:
     def on_message(self, sender: str, message: Any) -> None:
         if self.stopped:
             return
-        if isinstance(message, RequestVote):
-            self._on_request_vote(message)
-        elif isinstance(message, RequestVoteReply):
-            self._on_request_vote_reply(message)
-        elif isinstance(message, AppendEntries):
-            self._on_append_entries(message)
-        elif isinstance(message, AppendEntriesReply):
-            self._on_append_entries_reply(message)
+        handler = self._dispatch.get(message.__class__)
+        if handler is not None:
+            handler(message)
 
     # -- Elections ------------------------------------------------------
     def _reset_election_timer(self) -> None:

@@ -71,12 +71,15 @@ class Transport:
       through the facade makes that optimization protocol-agnostic.
     """
 
-    __slots__ = ("runtime", "messages_sent", "bytes_sent")
+    __slots__ = ("runtime", "messages_sent", "bytes_sent", "_groups")
 
     def __init__(self, runtime: "Runtime") -> None:
         self.runtime = runtime
         self.messages_sent = 0
         self.bytes_sent = 0
+        #: Memoized self-filtered destination lists, keyed by the (tuple)
+        #: destination group protocols pass for their stable fan-outs.
+        self._groups: dict = {}
 
     def send(self, dst: str, message: Any, size_bytes: Optional[int] = None) -> None:
         """Send ``message`` to the node named ``dst``."""
@@ -97,12 +100,23 @@ class Transport:
         event for the group.
         """
         size = size_bytes if size_bytes is not None else estimate_size(message)
-        node_id = self.runtime.node_id
-        dsts = [dst for dst in destinations if dst != node_id]
+        if type(destinations) is tuple:
+            # Stable fan-out groups (replica sets) arrive as tuples; the
+            # self-filtered list is computed once per distinct group rather
+            # than once per send.
+            dsts = self._groups.get(destinations)
+            if dsts is None:
+                node_id = self.runtime.node_id
+                dsts = [dst for dst in destinations if dst != node_id]
+                self._groups[destinations] = dsts
+        else:
+            node_id = self.runtime.node_id
+            dsts = [dst for dst in destinations if dst != node_id]
         if not dsts:
             return
-        self.messages_sent += len(dsts)
-        self.bytes_sent += size * len(dsts)
+        count = len(dsts)
+        self.messages_sent += count
+        self.bytes_sent += size * count
         self.runtime.multicast(dsts, message, size)
 
 
@@ -156,6 +170,17 @@ class Runtime(abc.ABC):
     @abc.abstractmethod
     def set_handler(self, handler: Callable[[str, Any], None]) -> None:
         """Register the ``handler(sender, message)`` delivery callback."""
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` once at absolute time ``when`` (no cancel handle).
+
+        Fire-and-forget variant of :meth:`after` for hot-path schedulers
+        that manage their own lifecycle (the callback must check its own
+        liveness); substrates with a cheaper absolute-time primitive
+        override it.
+        """
+        delay = when - self.now()
+        self.after(delay if delay > 0.0 else 0.0, callback)
 
     # ------------------------------------------------------------------
     # Convenience helpers shared by all runtimes

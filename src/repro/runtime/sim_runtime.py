@@ -5,11 +5,50 @@ from __future__ import annotations
 import random
 from typing import Any, Callable, Optional
 
-from repro.runtime.base import Runtime, Timer, estimate_size
+from repro.runtime.base import Runtime, Timer, Transport, estimate_size
 from repro.sim.engine import Simulator
 from repro.sim.network import Host, Network
 
 __all__ = ["SimRuntime", "estimate_size"]
+
+
+class _SimTransport(Transport):
+    """Transport facade bound straight to the simulated host.
+
+    Skips the generic ``Transport -> Runtime -> Host`` hop on the
+    per-message egress path: counters are identical, the host primitives
+    are called directly (one saved Python frame per send/broadcast).
+    """
+
+    __slots__ = ("host",)
+
+    def __init__(self, runtime: "SimRuntime") -> None:
+        super().__init__(runtime)
+        self.host = runtime.host
+
+    def send(self, dst: str, message: Any, size_bytes: Optional[int] = None) -> None:
+        size = size_bytes if size_bytes is not None else estimate_size(message)
+        self.messages_sent += 1
+        self.bytes_sent += size
+        self.host.send(dst, message, size)
+
+    def broadcast(self, destinations: Any, message: Any, size_bytes: Optional[int] = None) -> None:
+        size = size_bytes if size_bytes is not None else estimate_size(message)
+        if type(destinations) is tuple:
+            dsts = self._groups.get(destinations)
+            if dsts is None:
+                node_id = self.runtime.node_id
+                dsts = [dst for dst in destinations if dst != node_id]
+                self._groups[destinations] = dsts
+        else:
+            node_id = self.runtime.node_id
+            dsts = [dst for dst in destinations if dst != node_id]
+        if not dsts:
+            return
+        count = len(dsts)
+        self.messages_sent += count
+        self.bytes_sent += size * count
+        self.host.multicast(dsts, message, size)
 
 
 class SimRuntime(Runtime):
@@ -23,6 +62,8 @@ class SimRuntime(Runtime):
         self.rng: random.Random = simulator.fork_rng(host.name)
         host.set_handler(self._deliver)
         self._handler: Optional[Callable[[str, Any], None]] = None
+        self._timer_label = f"timer:{host.name}"
+        self._transport = _SimTransport(self)
 
     # ------------------------------------------------------------------
     def now(self) -> float:
@@ -37,11 +78,20 @@ class SimRuntime(Runtime):
         self.host.multicast(dsts, message, size)
 
     def after(self, delay: float, callback: Callable[[], None]) -> Timer:
-        event = self.simulator.loop.schedule(delay, callback, label=f"timer:{self.node_id}")
+        event = self.simulator.loop.schedule(delay, callback, label=self._timer_label)
         return Timer(event.cancel)
 
+    def call_at(self, when: float, callback: Callable[[], None]) -> None:
+        # Same (time, priority, seq) ordering as `after` (priority 10,
+        # shared seq counter) without the Event/Timer allocation.
+        self.simulator.loop.schedule_fast(when, callback, 10)
+
     def set_handler(self, handler: Callable[[str, Any], None]) -> None:
+        # Registered directly on the host: delivery then runs
+        # handler(sender, payload) with no runtime-level indirection
+        # (~one saved Python frame per delivered message).
         self._handler = handler
+        self.host.set_handler(handler)
 
     # ------------------------------------------------------------------
     def _deliver(self, sender: str, message: Any) -> None:

@@ -365,12 +365,16 @@ class _SwitchLane:
         # one grid period (= min egress latency) because its downstream
         # arrival is at least that far away, and grid alignment means a
         # burst of head-improving pushes arms one drain, not one each.
-        g = (int(arrival * owner._grid_inv) + 1) * owner._grid
+        # An armed drain at or before ``arrival`` always beats the next
+        # grid point after it (g > arrival >= at), so the grid math is
+        # skipped entirely in that (common) case.
         at = owner._drain_at
-        if at is None or g < at:
-            owner._drain_at = g
-            loop.schedule_fast(g, owner._drain, 5)
-            loop._live -= 1  # hidden: drains have no reference counterpart
+        if at is None or at > arrival:
+            g = (int(arrival * owner._grid_inv) + 1) * owner._grid
+            if at is None or g < at:
+                owner._drain_at = g
+                loop.schedule_fast(g, owner._drain, 5)
+                loop._live -= 1  # hidden: drains have no reference counterpart
 
 
 class Switch(NetworkElement):
@@ -570,7 +574,10 @@ class Switch(NetworkElement):
             if q:
                 nxt_arrival, nxt_p_ref, _ = q[0]
                 if nxt_arrival == arrival:
-                    heapreplace(heads, (arrival, head[1], head[2], i))
+                    # Same-group continuation: the root's merge key is
+                    # unchanged (and arm_tick is unique per switch, so the
+                    # min is strict) — leave the heap alone.
+                    pass
                 else:
                     # Group boundary: the reference re-arms at this flush's
                     # instant when the next item is already pushed, else at
@@ -648,9 +655,19 @@ class _RxQueue(DeliveryQueue):
             host._pull(now)
         self._armed = False
         pending = self._pending
-        deliver = self.deliver
+        # Host._dispatch inlined: this is the per-delivered-packet loop, and
+        # the extra frame per packet was measurable.  Failure state and the
+        # handler are re-read per packet (a callback can fail the host or
+        # swap the handler mid-flush), exactly as the indirect call did.
+        hdr = DEFAULT_HEADER_BYTES
         while pending and pending[0][0] <= now:
-            deliver(pending.popleft()[1])
+            packet = pending.popleft()[1]
+            if not host.failed:
+                host.messages_received += 1
+                host.bytes_received += packet.size_bytes + hdr
+                handler = host._handler
+                if handler is not None:
+                    handler(packet.src, packet.payload)
         if pending:
             if not self._armed:
                 self._armed = True
@@ -973,9 +990,10 @@ class Host(NetworkElement):
         if self.failed:
             return
         self.messages_received += 1
-        self.bytes_received += packet.total_bytes()
-        if self._handler is not None:
-            self._handler(packet.src, packet.payload)
+        self.bytes_received += packet.size_bytes + DEFAULT_HEADER_BYTES
+        handler = self._handler
+        if handler is not None:
+            handler(packet.src, packet.payload)
 
     # ------------------------------------------------------------------
     def fail(self) -> None:
@@ -1280,24 +1298,47 @@ class Network:
             self._rebuild_routes()
         hosts = self.hosts
         first_hop = self._first_hop
+        fh_get = self._first_hops.get
         packet_ids = self._packet_ids
+        hdr = DEFAULT_HEADER_BYTES
+        # The loop never advances time, so the reference-push instant every
+        # transmit would read is the same for the whole group.
+        p_ref = self.loop._now
         for dst, payload, size_bytes, when in items:
-            link = plan[dst] if plan is not None else first_hop(src, dst)
+            if plan is not None:
+                link = plan[dst]
+            else:
+                link = fh_get((src, dst), _MISSING)
+                if link is _MISSING:
+                    link = first_hop(src, dst)
             if hosts[dst].failed:
                 self.dropped_packets += 1
                 continue
-            packet = Packet(
-                src=src,
-                dst=dst,
-                payload=payload,
-                size_bytes=size_bytes,
-                packet_id=next(packet_ids),
-                sent_at=when,
-            )
+            packet = Packet(src, dst, payload, size_bytes, next(packet_ids), when)
             if link is None:
                 self._loopback_queue(dst).push(when + self.local_loopback_latency_s, packet)
             else:
-                link.transmit_at(when, packet)
+                # Link.transmit_at, inlined (this is the per-packet injection
+                # hot loop): identical expression shapes, earliest_start =
+                # the item's CPU-finish instant.
+                total_bytes = size_bytes + hdr
+                serialization = total_bytes * 8.0 / link.bandwidth_bps
+                busy = link._busy_until
+                start = when if when > busy else busy
+                finish = start + serialization
+                link._busy_until = finish
+                arrival = finish + link.latency_s
+                link.bytes_sent += total_bytes
+                link.packets_sent += 1
+                sink = link._lazy_host
+                if sink is not None:
+                    sink._ingress_push(arrival, packet, p_ref)
+                else:
+                    sink = link._lazy_lane
+                    if sink is not None:
+                        sink.push(arrival, p_ref, packet)
+                    else:
+                        link._arrivals.push(arrival, packet)
 
     # ------------------------------------------------------------------
     # Introspection helpers used by benchmarks

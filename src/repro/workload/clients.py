@@ -12,7 +12,8 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from heapq import heapify, heapreplace
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.canopus.messages import ClientReply, ClientRequest, RequestType
 from repro.metrics.collector import MetricsCollector
@@ -20,6 +21,12 @@ from repro.runtime.base import Runtime
 from repro.workload.keyspace import Keyspace
 
 __all__ = ["ClientProcess", "ClientHostAgent"]
+
+#: Arrivals pre-generated per refill of an open-loop agent's schedule.
+_ARRIVAL_CHUNK = 512
+
+#: Request kinds in a pre-generated schedule.
+_KIND_READ, _KIND_WRITE, _KIND_TXN_WRITE, _KIND_TXN_READ = 0, 1, 2, 3
 
 
 @dataclass
@@ -38,6 +45,145 @@ class ClientProcess:
     completed: int = 0
     txns_sent: int = 0
     read_txns_sent: int = 0
+
+
+class _ArrivalScheduler:
+    """Pre-generated open-loop arrival schedule for one agent.
+
+    The naive open loop costs one expovariate draw, one closure, and one
+    engine timer *object* per request.  This scheduler instead merges the
+    per-process Poisson streams ahead of time in chunks of
+    ``_ARRIVAL_CHUNK`` arrivals and fires them through a single slotted
+    timer callback, scheduled via the runtime's allocation-free
+    :meth:`~repro.runtime.base.Runtime.call_at`.
+
+    Determinism contract: the request stream is bit-identical to the naive
+    loop's.  Arrival times use the same ``fire_time + expovariate`` float
+    arithmetic; the agent RNG draws happen in the same order (the merge
+    replays the engine's ``(time, insertion-order)`` tie-breaking, and the
+    agent RNG is consumed by no one else, so pulling draws earlier in wall
+    time cannot change their values); keyspace draws stay at fire time
+    because that generator is shared across agents.
+    """
+
+    __slots__ = ("agent", "heap", "count", "times", "procs", "kinds", "idx", "call_at", "tick_cb")
+
+    def __init__(self, agent: "ClientHostAgent") -> None:
+        self.agent = agent
+        now = agent.runtime.now()
+        rng = agent.rng
+        # Initial draws in process order — exactly what the naive start() did.
+        heap: List[Tuple[float, int, ClientProcess]] = []
+        count = 0
+        for process in agent.processes:
+            rate = process.request_rate_hz
+            if rate <= 0:
+                continue
+            heap.append((now + rng.expovariate(rate), count, process))
+            count += 1
+        heapify(heap)
+        self.heap = heap
+        self.count = count
+        self.times: List[float] = []
+        self.procs: List[ClientProcess] = []
+        self.kinds: List[int] = []
+        self.idx = 0
+        self.call_at = agent.runtime.call_at
+        self.tick_cb = self.tick
+
+    def arm(self) -> None:
+        """Generate the first chunk and schedule its first arrival."""
+        self._refill()
+        if self.times:
+            self.call_at(self.times[0], self.tick_cb)
+
+    def _refill(self) -> None:
+        """Pre-generate the next ``_ARRIVAL_CHUNK`` arrivals.
+
+        Pops the earliest pending arrival, makes that fire's decision draws
+        in the naive per-fire order (multi-key?, then txn-read? or write?),
+        then draws the owning process's next inter-arrival gap — the same
+        recursion the engine performed one timer at a time.  Ties on the
+        arrival time break by insertion counter, which matches the engine's
+        schedule-order seq tie-breaking.
+        """
+        agent = self.agent
+        rng = agent.rng
+        random_ = rng.random
+        expovariate = rng.expovariate
+        heap = self.heap
+        mk_ratio = agent.multi_key_ratio
+        tr_ratio = agent.txn_read_ratio
+        count = self.count
+        times: List[float] = []
+        procs: List[ClientProcess] = []
+        kinds: List[int] = []
+        for _ in range(_ARRIVAL_CHUNK):
+            if not heap:
+                break
+            t, _tie, process = heap[0]
+            if mk_ratio > 0.0 and random_() < mk_ratio:
+                if tr_ratio > 0.0 and random_() < tr_ratio:
+                    kind = _KIND_TXN_READ
+                else:
+                    kind = _KIND_TXN_WRITE
+            elif random_() < process.write_ratio:
+                kind = _KIND_WRITE
+            else:
+                kind = _KIND_READ
+            heapreplace(heap, (t + expovariate(process.request_rate_hz), count, process))
+            count += 1
+            times.append(t)
+            procs.append(process)
+            kinds.append(kind)
+        self.count = count
+        self.times = times
+        self.procs = procs
+        self.kinds = kinds
+        self.idx = 0
+
+    def tick(self) -> None:
+        """Fire one pre-generated arrival and arm the next."""
+        agent = self.agent
+        if not agent.running or agent._scheduler is not self:
+            return
+        idx = self.idx
+        t = self.times[idx]
+        process = self.procs[idx]
+        kind = self.kinds[idx]
+        keyspace = agent.keyspace
+        if kind <= _KIND_WRITE:
+            request = ClientRequest(
+                client_id=process.process_id,
+                op=RequestType.WRITE if kind else RequestType.READ,
+                key=keyspace.next_key(),
+                value=keyspace.next_value() if kind else None,
+                submitted_at=t,
+            )
+            agent._inflight[request.request_id] = process
+            process.outstanding += 1
+            process.sent += 1
+            agent.collector.record_submit(request)
+            route_key = agent.route_key
+            target = route_key(request.key) if route_key is not None else process.target_node
+            agent.transport.send(target, request, request.wire_size())
+        elif kind == _KIND_TXN_WRITE:
+            keys = keyspace.next_txn_keys(agent.multi_key_span)
+            writes = {key: keyspace.next_value() for key in keys}
+            process.txns_sent += 1
+            agent.submit_txn(process.process_id, writes)
+        else:
+            keys = keyspace.next_txn_keys(agent.multi_key_span)
+            process.read_txns_sent += 1
+            agent.read_txn(process.process_id, keys)
+        idx += 1
+        if idx >= len(self.times):
+            self._refill()
+            if not self.times:
+                return
+            idx = 0
+        self.idx = idx
+        self.call_at(self.times[idx], self.tick_cb)
 
 
 class ClientHostAgent:
@@ -80,19 +226,30 @@ class ClientHostAgent:
         self.txn_read_ratio = txn_read_ratio if read_txn is not None else 0.0
         self._inflight: Dict[int, ClientProcess] = {}
         self.running = False
+        self._scheduler: Optional[_ArrivalScheduler] = None
         runtime.set_handler(self.on_message)
 
     # ------------------------------------------------------------------
     def start(self) -> None:
-        """Start every client process's arrival timer."""
+        """Start every client process's arrival timer.
+
+        Open-loop agents run on a pre-generated arrival schedule (see
+        :class:`_ArrivalScheduler`); closed-loop agents keep the naive
+        per-process timers because their sends are gated on replies.
+        """
         if self.running:
             return
         self.running = True
+        if self.open_loop:
+            self._scheduler = _ArrivalScheduler(self)
+            self._scheduler.arm()
+            return
         for process in self.processes:
             self._schedule_next(process)
 
     def stop(self) -> None:
         self.running = False
+        self._scheduler = None
 
     # ------------------------------------------------------------------
     def _schedule_next(self, process: ClientProcess) -> None:

@@ -19,7 +19,7 @@ _HEADER_BYTES = 48
 _TXN_ENTRY_BYTES = 48
 
 
-@dataclass
+@dataclass(slots=True)
 class WriteForward:
     """A follower/observer forwards a client write to the leader."""
 
@@ -30,7 +30,7 @@ class WriteForward:
         return _HEADER_BYTES + _TXN_ENTRY_BYTES * len(self.requests)
 
 
-@dataclass
+@dataclass(slots=True)
 class ZabProposal:
     """Leader proposes a batch of transactions to the followers."""
 
@@ -42,7 +42,7 @@ class ZabProposal:
         return _HEADER_BYTES + _TXN_ENTRY_BYTES * len(self.requests)
 
 
-@dataclass
+@dataclass(slots=True)
 class ZabAck:
     """Follower acknowledgement of a proposal."""
 
@@ -53,7 +53,7 @@ class ZabAck:
         return _HEADER_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class ZabCommit:
     """Leader commit notification to followers."""
 
@@ -63,7 +63,7 @@ class ZabCommit:
         return _HEADER_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class ZabInform:
     """Leader informs observers of a committed transaction batch."""
 

@@ -106,6 +106,15 @@ class ZabNode:
             "forwards_sent": 0,
         }
         self.crashed = False
+        #: Per-type handler table replacing the delivery isinstance chain.
+        self._dispatch = {
+            ClientRequest: self._on_client_request,
+            WriteForward: self._on_write_forward,
+            ZabProposal: self._on_proposal,
+            ZabAck: self._on_ack,
+            ZabCommit: self._on_commit,
+            ZabInform: self._on_inform,
+        }
         runtime.set_handler(self.on_message)
 
     # ------------------------------------------------------------------
@@ -202,19 +211,16 @@ class ZabNode:
     def on_message(self, sender: str, message: object) -> None:
         if self.crashed:
             return
-        if isinstance(message, ClientRequest):
-            self._on_client_request(sender, message)
-        elif isinstance(message, WriteForward):
-            if self.is_leader:
-                self._propose(message.origin, message.requests)
-        elif isinstance(message, ZabProposal):
-            self._on_proposal(sender, message)
-        elif isinstance(message, ZabAck):
-            self._on_ack(message)
-        elif isinstance(message, ZabCommit):
-            self._on_commit(message)
-        elif isinstance(message, ZabInform):
-            self._apply_committed(message.zxid, message.origin, message.requests)
+        handler = self._dispatch.get(message.__class__)
+        if handler is not None:
+            handler(sender, message)
+
+    def _on_write_forward(self, sender: str, message: WriteForward) -> None:
+        if self.is_leader:
+            self._propose(message.origin, message.requests)
+
+    def _on_inform(self, sender: str, message: ZabInform) -> None:
+        self._apply_committed(message.zxid, message.origin, message.requests)
 
     def _on_proposal(self, sender: str, message: ZabProposal) -> None:
         # Followers log the proposal, then acknowledge.
@@ -225,7 +231,7 @@ class ZabNode:
         ack = ZabAck(zxid=message.zxid, follower=self.node_id)
         self.transport.send(sender, ack, ack.wire_size())
 
-    def _on_ack(self, message: ZabAck) -> None:
+    def _on_ack(self, sender: str, message: ZabAck) -> None:
         if not self.is_leader:
             return
         txn = self.pending_txns.get(message.zxid)
@@ -235,7 +241,7 @@ class ZabNode:
         if len(txn.acks) >= self.quorum_size():
             self._leader_commit(txn)
 
-    def _on_commit(self, message: ZabCommit) -> None:
+    def _on_commit(self, sender: str, message: ZabCommit) -> None:
         txn = self.pending_txns.get(message.zxid)
         if txn is None or txn.committed:
             return
