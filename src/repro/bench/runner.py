@@ -188,12 +188,15 @@ def _execute_rate_point(
     canopus_config: Any = None,
     epaxos_config: Any = None,
     zab_config: Any = None,
+    instrument: Optional[Callable[[Simulator, SystemUnderTest, WorkloadGenerator], Any]] = None,
 ) -> Tuple[Simulator, SystemUnderTest, RunSummary]:
     """Build, drive and summarize one rate point, returning the live system.
 
     :func:`run_rate_point` keeps only the summary; the perf-tracking mode
     also needs the simulator (event counts) and the protocol (commit-log
-    fingerprints) after the run.
+    fingerprints) after the run.  ``instrument``, when given, runs after
+    the system is built and before it starts — the traced-run mode uses it
+    to attach the observability fabric (:mod:`repro.obs`).
     """
     simulator = Simulator(seed=profile.seed)
     topology = topology_factory(simulator)
@@ -214,6 +217,8 @@ def _execute_rate_point(
     )
     generator = WorkloadGenerator(topology, workload_config)
     collector = generator.build()
+    if instrument is not None:
+        instrument(simulator, sut, generator)
 
     sut.start()
     generator.start()
@@ -721,6 +726,114 @@ def run_perf_tracking(point: PerfPoint) -> Dict[str, Any]:
     }
 
 
+def run_traced_point(point: PerfPoint, trace_path: str) -> Dict[str, Any]:
+    """Run one workload perf point once with the observability fabric on.
+
+    Attaches a :class:`repro.obs.Tracer` (request spans + protocol phases),
+    a :class:`repro.obs.Telemetry` registry and a sim-time sampler, then
+    exports the run as ``trace_path`` (the canonical ``repro-trace-v1``
+    JSON, readable by ``python -m repro.obs.report``) plus a Chrome
+    trace-event file next to it (open in Perfetto / ``chrome://tracing``).
+
+    Engine and asyncio points have no request/protocol structure to trace;
+    only workload points (``kind == "sim"``) are supported.
+    """
+    from repro.obs import (
+        Telemetry,
+        TelemetrySampler,
+        Tracer,
+        export_chrome_trace,
+        export_json,
+        trace_digest,
+        trace_to_dict,
+    )
+
+    if point.kind != "workload":
+        raise ValueError(f"--trace supports workload points only, not kind={point.kind!r}")
+
+    captured: Dict[str, Any] = {}
+
+    def _attach(simulator, network, shard_metrics, attach):
+        tracer = Tracer(lambda: simulator.now)
+        telemetry = Telemetry()
+        sampler = TelemetrySampler(
+            telemetry, simulator, network=network, shard_metrics=shard_metrics
+        )
+        attach(tracer)
+        sampler.start()
+        captured.update(tracer=tracer, telemetry=telemetry, sampler=sampler)
+        return tracer
+
+    if point.shard_count > 1:
+        from repro.bench.shard_bench import ShardPointConfig, _execute_shard_point
+
+        shard_config = ShardPointConfig(
+            shard_count=point.shard_count,
+            protocol=point.system,
+            nodes_per_rack=point.nodes_per_rack,
+            racks=point.racks,
+            rate_hz=point.rate_hz,
+            write_ratio=point.write_ratio,
+            multi_key_ratio=point.multi_key_ratio,
+            txn_read_ratio=point.txn_read_ratio,
+            client_processes=point.client_processes,
+            warmup_s=point.warmup_s,
+            measure_s=point.measure_s,
+            cooldown_s=point.cooldown_s,
+            seed=point.seed,
+            verify=False,
+        )
+
+        def instrument(simulator, cluster, router, metrics, generator):
+            def attach(tracer):
+                cluster.attach_tracer(tracer)
+                router._obs = tracer
+                for agent in generator.agents:
+                    agent.attach_tracer(tracer)
+
+            return _attach(simulator, cluster.topology.network, metrics, attach)
+
+        _execute_shard_point(shard_config, instrument=instrument)
+    else:
+        factory = partial(
+            make_single_dc_topology, nodes_per_rack=point.nodes_per_rack, racks=point.racks
+        )
+
+        def instrument(simulator, sut, generator):
+            def attach(tracer):
+                sut.protocol.attach_tracer(tracer)
+                for agent in generator.agents:
+                    agent.attach_tracer(tracer)
+
+            return _attach(simulator, sut.topology.network, None, attach)
+
+        _execute_rate_point(
+            point.system,
+            factory,
+            point.rate_hz,
+            point.write_ratio,
+            point.profile(),
+            config=point.config(),
+            instrument=instrument,
+        )
+
+    tracer = captured["tracer"]
+    telemetry = captured["telemetry"]
+    captured["sampler"].stop()
+    export_json(tracer, trace_path, telemetry=telemetry)
+    if trace_path.endswith(".json"):
+        chrome_path = trace_path[: -len(".json")] + ".chrome.json"
+    else:
+        chrome_path = trace_path + ".chrome.json"
+    export_chrome_trace(tracer, chrome_path, telemetry=telemetry)
+    return {
+        "trace": trace_path,
+        "chrome_trace": chrome_path,
+        "spans": len(tracer.spans),
+        "trace_sha256": trace_digest(trace_to_dict(tracer, telemetry=telemetry)),
+    }
+
+
 def update_perf_report(
     path: str, key: str, current: Dict[str, Any], set_baseline: bool = False
 ) -> Dict[str, Any]:
@@ -943,6 +1056,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "is run and no gate is applied",
     )
     parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="after the perf measurement, run the point once more with the "
+        "observability fabric attached and write the trace (plus a Chrome "
+        "trace-event file next to it) to PATH; read it back with "
+        "'python -m repro.obs.report PATH'",
+    )
+    parser.add_argument(
         "--shard-saturation",
         action="store_true",
         help="run the sharded throughput-scaling sweep instead of a perf point",
@@ -1011,6 +1133,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     current = run_perf_tracking(point)
     entry = update_perf_report(args.report, args.perf_point, current, set_baseline=args.set_baseline)
+    if args.trace is not None:
+        traced = run_traced_point(point, args.trace)
+        print(
+            f"trace: {traced['spans']} spans -> {traced['trace']} "
+            f"(+ {traced['chrome_trace']}), sha256={traced['trace_sha256'][:12]}"
+        )
     ratio = entry["events_per_s_ratio_vs_baseline"]
     calibrated = entry.get("calibrated_events_per_s_ratio_vs_baseline")
     gate_ratio = calibrated if calibrated is not None else ratio

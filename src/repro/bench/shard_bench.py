@@ -21,7 +21,7 @@ host-side cost of a small fixed sharded run in CI.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.builders import make_single_dc_topology
 from repro.shard import ShardedCluster, ShardMetrics, ShardRouter, txn_marker_kind
@@ -129,8 +129,15 @@ class ShardPointResult:
 
 def _execute_shard_point(
     config: ShardPointConfig,
+    instrument: Optional[Callable[..., Any]] = None,
 ) -> Tuple[Simulator, ShardedCluster, ShardRouter, ShardPointResult]:
-    """Build, drive, measure and (optionally) verify one sharded point."""
+    """Build, drive, measure and (optionally) verify one sharded point.
+
+    ``instrument``, when given, runs after the cluster is built and before
+    it starts, as ``instrument(simulator, cluster, router, metrics,
+    generator)``; its return value (a ``repro.obs.Tracer`` or ``None``) is
+    handed to the verify checkers so failures carry trace slices.
+    """
     simulator = Simulator(seed=config.seed)
     topology = make_single_dc_topology(
         simulator, nodes_per_rack=config.nodes_per_rack, racks=config.racks
@@ -153,6 +160,9 @@ def _execute_shard_point(
         router=router,
     )
     collector = generator.build()
+    tracer = None
+    if instrument is not None:
+        tracer = instrument(simulator, cluster, router, metrics, generator)
 
     cluster.start()
     generator.start()
@@ -184,16 +194,16 @@ def _execute_shard_point(
                     txn_marker_kind(key) is None and cluster.shard_of(key) == shard
                 )
             )
-            ok, message = check_linearizable_history(history)
+            ok, message = check_linearizable_history(history, tracer=tracer)
             if not ok:
                 linearizable = False
                 failures.append(f"{shard_id}: {message}")
         states = collect_txn_states(cluster, router.transaction_ids())
-        atomic, atomicity_message = check_cross_shard_atomicity(states)
+        atomic, atomicity_message = check_cross_shard_atomicity(states, tracer=tracer)
         if not atomic:
             failures.append(atomicity_message)
         isolated, isolation_message = check_read_isolation(
-            router.snapshot_reads, router.committed_txn_order
+            router.snapshot_reads, router.committed_txn_order, tracer=tracer
         )
         if not isolated:
             failures.append(isolation_message)

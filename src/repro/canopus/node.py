@@ -142,6 +142,12 @@ class CanopusNode:
         self.running = False
         self.crashed = False
 
+        #: Observability hook (repro.obs.Tracer) + the protocol label its
+        #: phase spans carry ("canopus" / "zkcanopus", set by the adapter's
+        #: attach_tracer); None = off, one attribute load per point.
+        self._obs = None
+        self._obs_proto = "canopus"
+
         #: Per-type handler table replacing the delivery isinstance chain;
         #: anything not listed falls through to the reliable-broadcast
         #: layer (whose message types depend on the broadcast mode).
@@ -267,6 +273,11 @@ class CanopusNode:
         # §5: delay the read until the cycle that orders the concurrently
         # received writes (the next cycle to start) has committed.
         release_cycle = self.last_started_cycle + 1
+        if self._obs is not None:
+            self._obs.phase_begin(
+                self._obs_proto, "read_delay", self.node_id, key=request.request_id,
+                request_ids=(request.request_id,),
+            )
         self.linearizer.defer(request, sender, now, release_cycle)
         if self.last_started_cycle == self.last_committed_cycle:
             # Idle node: a read also prompts the next cycle (§4.4).
@@ -349,6 +360,12 @@ class CanopusNode:
         state.own_membership_updates = updates
         if not batch:
             self.stats["empty_cycles"] += 1
+        if self._obs is not None:
+            self._obs.phase_begin(
+                self._obs_proto, "cycle", self.node_id, key=cycle_id,
+                request_ids=[request.request_id for request in batch],
+            )
+            self._obs.phase_begin(self._obs_proto, "round1", self.node_id, key=cycle_id)
 
         proposal = Proposal(
             cycle_id=cycle_id,
@@ -459,6 +476,10 @@ class CanopusNode:
     # Fetched proposals (replies to this node's proposal-requests)
     # ------------------------------------------------------------------
     def _on_fetched_proposal(self, sender: str, proposal: Proposal) -> None:
+        if self._obs is not None:
+            self._obs.phase_end(
+                self._obs_proto, "fetch", self.node_id, key=(proposal.cycle_id, proposal.vnode_id)
+            )
         if proposal.cycle_id > self.last_started_cycle:
             self._self_synchronize(proposal.cycle_id)
         state = self._cycle_state(proposal.cycle_id)
@@ -495,6 +516,8 @@ class CanopusNode:
                     progressed = True
 
     def _complete_round1(self, state: CycleState) -> None:
+        if self._obs is not None:
+            self._obs.phase_end(self._obs_proto, "round1", self.node_id, key=state.cycle_id)
         proposals = list(state.round1_proposals.values())
         merged = merge_proposals(
             cycle_id=state.cycle_id,
@@ -571,6 +594,10 @@ class CanopusNode:
             vnode_id=vnode_id,
             requester=self.node_id,
         )
+        if self._obs is not None:
+            self._obs.phase_begin(
+                self._obs_proto, "fetch", self.node_id, key=(state.cycle_id, vnode_id)
+            )
         self.stats["proposal_requests_sent"] += 1
         if attempt > 1:
             self.stats["fetch_retries"] += 1
@@ -634,10 +661,19 @@ class CanopusNode:
         self.last_committed_cycle = state.cycle_id
         self.commit_log.append(CommittedCycle(state.cycle_id, tuple(requests), now))
         self.stats["cycles_committed"] += 1
+        if self._obs is not None:
+            self._obs.phase_end(self._obs_proto, "cycle", self.node_id, key=state.cycle_id)
+            self._obs.phase_point(
+                self._obs_proto, "commit", self.node_id, key=state.cycle_id,
+                request_ids=[request.request_id for request in requests],
+            )
 
         # Release reads linearized by this commit (§5).
         for pending in self.linearizer.release_up_to(state.cycle_id):
-            sender = self.request_senders.pop(pending.request.request_id, pending.sender)
+            rid = pending.request.request_id
+            if self._obs is not None:
+                self._obs.phase_end(self._obs_proto, "read_delay", self.node_id, key=rid)
+            sender = self.request_senders.pop(rid, pending.sender)
             self._reply_read(sender, pending.request, committed_cycle=state.cycle_id)
 
         # Keep the cycle map bounded.

@@ -143,6 +143,12 @@ class EPaxosNode:
         }
         self.running = False
         self.crashed = False
+        #: Observability hook (repro.obs.Tracer) + the protocol label its
+        #: phase spans carry; None = off, costing one attribute load per
+        #: instrumented point.  Installed next to the dispatch table by
+        #: ConsensusProtocol.attach_tracer.
+        self._obs = None
+        self._obs_proto = "epaxos"
         #: Per-type handler table; replaces the isinstance chain on the
         #: delivery hot path (exact-type dispatch is safe because protocol
         #: messages are concrete final classes).
@@ -244,6 +250,11 @@ class EPaxosNode:
         )
         self.instances[instance_id] = instance
         self._record_interference(instance_id, commands)
+        if self._obs is not None:
+            self._obs.phase_begin(
+                self._obs_proto, "preaccept", self.node_id, key=instance_id,
+                request_ids=[command.request_id for command in commands],
+            )
         message = PreAccept(instance=instance_id, commands=commands, seq=seq, deps=deps)
         self.transport.broadcast(
             self._quorum_peers(self.fast_quorum_size()), message, message.wire_size()
@@ -368,6 +379,9 @@ class EPaxosNode:
             instance.seq = seq
             instance.status = "accepted"
             instance.accept_oks = set()
+            if self._obs is not None:
+                self._obs.phase_end(self._obs_proto, "preaccept", self.node_id, key=instance.instance)
+                self._obs.phase_begin(self._obs_proto, "accept", self.node_id, key=instance.instance)
             message_out = Accept(
                 instance=instance.instance, commands=instance.commands, seq=seq, deps=instance.deps
             )
@@ -407,6 +421,15 @@ class EPaxosNode:
             return
         instance.status = "committed"
         self.stats["instances_committed"] += 1
+        obs = self._obs
+        if obs is not None:
+            proto = self._obs_proto
+            obs.phase_end(proto, "preaccept", self.node_id, key=instance.instance)
+            obs.phase_end(proto, "accept", self.node_id, key=instance.instance)
+            obs.phase_point(
+                proto, "commit", self.node_id, key=instance.instance,
+                request_ids=[command.request_id for command in instance.commands],
+            )
         # One interned Commit for the whole fan-out: the message object, its
         # wire size, and the network-level packet schedule are shared.
         commit = Commit(

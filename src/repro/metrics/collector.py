@@ -49,6 +49,10 @@ class RunSummary:
     p99_completion_s: float
     read_median_s: float
     write_median_s: float
+    read_p95_s: float = 0.0
+    read_p99_s: float = 0.0
+    write_p95_s: float = 0.0
+    write_p99_s: float = 0.0
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -61,6 +65,10 @@ class RunSummary:
             "p99_completion_ms": self.p99_completion_s * 1000,
             "read_median_ms": self.read_median_s * 1000,
             "write_median_ms": self.write_median_s * 1000,
+            "read_p95_ms": self.read_p95_s * 1000,
+            "read_p99_ms": self.read_p99_s * 1000,
+            "write_p95_ms": self.write_p95_s * 1000,
+            "write_p99_ms": self.write_p99_s * 1000,
         }
 
 
@@ -125,6 +133,10 @@ class MetricsCollector:
             p99_completion_s=percentile(completion_times, 0.99),
             read_median_s=percentile(read_times, 0.5),
             write_median_s=percentile(write_times, 0.5),
+            read_p95_s=percentile(read_times, 0.95),
+            read_p99_s=percentile(read_times, 0.99),
+            write_p95_s=percentile(write_times, 0.95),
+            write_p99_s=percentile(write_times, 0.99),
         )
 
     def to_history(self, key_filter: Optional[Callable[[str], bool]] = None) -> "History":
@@ -150,6 +162,7 @@ class MetricsCollector:
                 value=record.value,
                 invoked_at=record.submitted_at,
                 completed_at=record.completed_at,
+                request_id=record.request_id,
             )
         return history
 

@@ -140,6 +140,10 @@ class RaftKVNode:
             "lease_reads_served": 0,
         }
         self.crashed = False
+        #: Observability hook (repro.obs.Tracer) + phase label; None = off,
+        #: one attribute load per instrumented point.
+        self._obs = None
+        self._obs_proto = "raft"
 
         self.raft = RaftNode(
             runtime,
@@ -196,6 +200,11 @@ class RaftKVNode:
 
     def _on_write_forward(self, sender: str, message: "_WriteForward") -> None:
         if self.raft.is_leader:
+            if self._obs is not None:
+                rid = message.request.request_id
+                self._obs.phase_begin(
+                    self._obs_proto, "replicate", self.node_id, key=rid, request_ids=(rid,)
+                )
             self.raft.propose((message.origin, message.request))
         elif message.hops < len(self.members):
             # Leadership moved since the origin forwarded: chase the
@@ -226,6 +235,11 @@ class RaftKVNode:
         # Only writes wait for a commit, so only they need the sender map.
         self.request_senders[request.request_id] = sender
         if self.raft.is_leader:
+            if self._obs is not None:
+                rid = request.request_id
+                self._obs.phase_begin(
+                    self._obs_proto, "replicate", self.node_id, key=rid, request_ids=(rid,)
+                )
             self.raft.propose((self.node_id, request))
         else:
             leader = self.raft.leader_id or self.members[0]
@@ -264,18 +278,32 @@ class RaftKVNode:
             # Clock-bound fast path: the lease rules out a rival leader, so
             # the local committed state is the linearizable state.
             self.stats["lease_reads_served"] += 1
+            if self._obs is not None:
+                self._obs.phase_point(
+                    self._obs_proto, "lease_read", self.node_id,
+                    key=request.request_id, request_ids=(request.request_id,),
+                )
             self._finish_read(client, request)
             return
         # Read index: capture happens implicitly — entries are applied the
         # moment the commit index advances, so the store already reflects
         # every index committed before this round once the quorum confirms.
         self.stats["read_index_rounds"] += 1
+        if self._obs is not None:
+            self._obs.phase_begin(
+                self._obs_proto, "read_index", self.node_id,
+                key=request.request_id, request_ids=(request.request_id,),
+            )
 
         def on_confirm(confirmed: bool) -> None:
             # A stopped node fails confirmations synchronously while still
             # reporting is_leader — re-serving would recurse forever.
             if self.crashed or self.raft.stopped:
                 return
+            if self._obs is not None:
+                self._obs.phase_end(
+                    self._obs_proto, "read_index", self.node_id, key=request.request_id
+                )
             if confirmed:
                 self._finish_read(client, request)
             else:
@@ -295,6 +323,10 @@ class RaftKVNode:
         self.store.write(request.key, request.value or "")
         self.committed.append(request)
         self.stats["writes_committed"] += 1
+        if self._obs is not None:
+            # Closes the proposing leader's replicate span; a no-op on the
+            # other replicas (phase_end tolerates a missing key).
+            self._obs.phase_end(self._obs_proto, "replicate", self.node_id, key=request.request_id)
         if origin == self.node_id:
             sender = self.request_senders.pop(request.request_id, None)
             if sender is not None:

@@ -71,7 +71,7 @@ class Transport:
       through the facade makes that optimization protocol-agnostic.
     """
 
-    __slots__ = ("runtime", "messages_sent", "bytes_sent", "_groups")
+    __slots__ = ("runtime", "messages_sent", "bytes_sent", "_groups", "_obs")
 
     def __init__(self, runtime: "Runtime") -> None:
         self.runtime = runtime
@@ -80,12 +80,19 @@ class Transport:
         #: Memoized self-filtered destination lists, keyed by the (tuple)
         #: destination group protocols pass for their stable fan-outs.
         self._groups: dict = {}
+        #: Observability hook (``repro.obs.Tracer``); ``None`` = off.  On
+        #: the simulator substrate hops are recorded at the network layer
+        #: instead (richer timing), so ``_SimTransport`` never reads this.
+        self._obs = None
 
     def send(self, dst: str, message: Any, size_bytes: Optional[int] = None) -> None:
         """Send ``message`` to the node named ``dst``."""
         size = size_bytes if size_bytes is not None else estimate_size(message)
         self.messages_sent += 1
         self.bytes_sent += size
+        obs = self._obs
+        if obs is not None:
+            obs.transport_send(self.runtime.node_id, dst, message, size)
         self.runtime.send(dst, message, size)
 
     def broadcast(self, destinations: Iterable[str], message: Any, size_bytes: Optional[int] = None) -> None:
@@ -117,6 +124,11 @@ class Transport:
         count = len(dsts)
         self.messages_sent += count
         self.bytes_sent += size * count
+        obs = self._obs
+        if obs is not None:
+            node_id = self.runtime.node_id
+            for dst in dsts:
+                obs.transport_send(node_id, dst, message, size)
         self.runtime.multicast(dsts, message, size)
 
 
@@ -185,6 +197,16 @@ class Runtime(abc.ABC):
     # ------------------------------------------------------------------
     # Convenience helpers shared by all runtimes
     # ------------------------------------------------------------------
+    def attach_tracer(self, tracer: Any) -> None:
+        """Install an observability hook on this runtime's egress path.
+
+        The base implementation hooks the transport facade (substrates
+        without a deeper vantage point); the simulator runtime overrides
+        this to hook the network delivery path instead, where hop timing
+        (queueing + propagation) is actually known.
+        """
+        self.transport._obs = tracer
+
     def broadcast(self, destinations: Any, message: Any, size_bytes: Optional[int] = None) -> None:
         """Send ``message`` to every destination (excluding self)."""
         self.transport.broadcast(destinations, message, size_bytes)

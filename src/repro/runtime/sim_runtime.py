@@ -93,6 +93,13 @@ class SimRuntime(Runtime):
         self._handler = handler
         self.host.set_handler(handler)
 
+    def attach_tracer(self, tracer: Any) -> None:
+        """Hook the sim delivery plane: hops are recorded at the network
+        layer (packet creation + rx dispatch), not the transport facade,
+        so the trace sees real queueing/propagation times."""
+        self.host._obs = tracer
+        self.network._obs = tracer
+
     # ------------------------------------------------------------------
     def _deliver(self, sender: str, message: Any) -> None:
         if self._handler is not None:

@@ -191,6 +191,12 @@ class ShardedCluster:
         for shard in self.shards.values():
             shard.stop()
 
+    def attach_tracer(self, tracer) -> None:
+        """Install an observability hook on every shard protocol (and,
+        through each node runtime, on the shared network delivery plane)."""
+        for shard in self.shards.values():
+            shard.attach_tracer(tracer)
+
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------

@@ -11,7 +11,7 @@ counters plus each shard protocol's own stats for the full picture.
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.canopus.messages import ClientReply, RequestType
 from repro.shard.cluster import ShardedCluster
@@ -31,6 +31,8 @@ class ShardMetrics:
         self._reads: Dict[str, int] = {s: 0 for s in cluster.shard_ids}
         self._writes: Dict[str, int] = {s: 0 for s in cluster.shard_ids}
         self._control: Dict[str, int] = {s: 0 for s in cluster.shard_ids}
+        #: Per-shard queue-depth samples recorded by sample_queue_depths.
+        self._queue_depths: Dict[str, List[Tuple[float, float]]] = {}
         cluster.add_reply_listener(self._on_reply)
 
     # ------------------------------------------------------------------
@@ -59,6 +61,56 @@ class ShardMetrics:
 
     def total_ops_in_window(self, start: float, end: float) -> int:
         return sum(self.ops_in_window(start, end).values())
+
+    # ------------------------------------------------------------------
+    # Windowed timeseries (the autoscaling signal — ROADMAP item 1)
+    # ------------------------------------------------------------------
+    def goodput_timeseries(
+        self, start: float, end: float, bucket_s: float
+    ) -> Dict[str, List[Tuple[float, float]]]:
+        """Per-shard goodput sampled on a bucket grid over ``[start, end]``.
+
+        Returns ``{shard: [(bucket_end, ops_per_s), ...]}`` — the signal a
+        load-driven autoscaler watches for hot/cold shards, and what the
+        obs report renders per shard.
+        """
+        if bucket_s <= 0:
+            raise ValueError("bucket_s must be positive")
+        series: Dict[str, List[Tuple[float, float]]] = {}
+        for shard_id, times in self._completions.items():
+            points: List[Tuple[float, float]] = []
+            lo = start
+            while lo < end:
+                hi = min(lo + bucket_s, end)
+                count = bisect_right(times, hi) - bisect_left(times, lo)
+                points.append((hi, count / max(hi - lo, 1e-9)))
+                lo = hi
+            series[shard_id] = points
+        return series
+
+    def sample_queue_depths(self, now: float) -> Dict[str, float]:
+        """Sample each shard's total replica rx backlog (and record it).
+
+        Depth is the sum over the shard's server hosts of queued-but-not-
+        dispatched packets (ingress lane + CPU dispatch queue).  Each call
+        appends to :meth:`queue_depth_series`; the
+        :class:`repro.obs.TelemetrySampler` calls this on its grid.
+        """
+        hosts = self.cluster.topology.network.hosts
+        depths: Dict[str, float] = {}
+        for shard_id, node_ids in self.cluster.assignment.items():
+            depth = 0
+            for node_id in node_ids:
+                host = hosts.get(node_id)
+                if host is not None:
+                    depth += len(host._in_q) + len(host._rx_queue._pending)
+            depths[shard_id] = float(depth)
+            self._queue_depths.setdefault(shard_id, []).append((now, float(depth)))
+        return depths
+
+    def queue_depth_series(self) -> Dict[str, List[Tuple[float, float]]]:
+        """Recorded per-shard queue-depth samples ``[(t, depth), ...]``."""
+        return {shard: list(points) for shard, points in self._queue_depths.items()}
 
     # ------------------------------------------------------------------
     def summary(

@@ -180,6 +180,10 @@ class ShardRouter:
             "reads_fenced": 0,
             "commits_fenced": 0,
         }
+        #: Observability hook (repro.obs.Tracer); None = off, one attribute
+        #: load per instrumented point.  2PC phases are recorded under the
+        #: protocol label "2pc" keyed by txid.
+        self._obs = None
         cluster.add_reply_listener(self._on_reply)
 
     # ------------------------------------------------------------------
@@ -243,6 +247,8 @@ class ShardRouter:
             self._decide(txn, "commit")
             return txid
 
+        if self._obs is not None:
+            self._obs.phase_begin("2pc", "prepare", self.name, key=txid)
         for shard in txn.participants:
             record = json.dumps(
                 {
@@ -436,6 +442,9 @@ class ShardRouter:
     def _decide(self, txn: _Txn, outcome: str) -> None:
         txn.phase = "decide"
         txn.outcome = outcome
+        if self._obs is not None:
+            # No-op on the single-shard fast path, which never prepared.
+            self._obs.phase_end("2pc", "prepare", self.name, key=txn.txid)
         if outcome == "abort":
             # Aborts apply no data writes, so nothing a reader could
             # fracture on: log the decision markers without fencing.
@@ -448,6 +457,8 @@ class ShardRouter:
             return
         if self.isolation and self._commit_must_wait(txn):
             self.stats["commits_fenced"] += 1
+            if self._obs is not None:
+                self._obs.phase_begin("2pc", "fence-wait", self.name, key=txn.txid)
             self._waiting_commits.append(txn)
             for key in txn.keys():
                 self._pending_commit_keys[key] = self._pending_commit_keys.get(key, 0) + 1
@@ -468,6 +479,9 @@ class ShardRouter:
         enter the consensus log first); the single-shard fast path skips
         the markers — one consensus log already orders it atomically.
         """
+        if self._obs is not None:
+            self._obs.phase_end("2pc", "fence-wait", self.name, key=txn.txid)
+            self._obs.phase_begin("2pc", "decide", self.name, key=txn.txid)
         if self.isolation:
             for key in txn.keys():
                 self._key_fences[key] = txn.txid
@@ -489,6 +503,8 @@ class ShardRouter:
 
     def _finish(self, txn: _Txn) -> None:
         txn.phase = "done"
+        if self._obs is not None:
+            self._obs.phase_end("2pc", "decide", self.name, key=txn.txid)
         outcome = txn.outcome or "commit"
         self.stats["txns_committed" if outcome == "commit" else "txns_aborted"] += 1
         if outcome == "commit":

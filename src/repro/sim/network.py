@@ -667,7 +667,11 @@ class _RxQueue(DeliveryQueue):
                 host.bytes_received += packet.size_bytes + hdr
                 handler = host._handler
                 if handler is not None:
-                    handler(packet.src, packet.payload)
+                    obs = host._obs
+                    if obs is None:
+                        handler(packet.src, packet.payload)
+                    else:
+                        obs.deliver(host.name, packet, handler)
         if pending:
             if not self._armed:
                 self._armed = True
@@ -720,6 +724,9 @@ class Host(NetworkElement):
         self.rack: Optional[str] = None
         self.datacenter: Optional[str] = None
         self.failed = False
+        #: Observability hook — set alongside :attr:`Network._obs` when a
+        #: tracer is attached; the delivery path costs one load when off.
+        self._obs = None
         loop = network.loop
         self._rx_queue = _RxQueue(self)
         self._tx_queue = DeliveryQueue(loop, self._inject, priority=9, label=f"send:{name}")
@@ -993,7 +1000,11 @@ class Host(NetworkElement):
         self.bytes_received += packet.size_bytes + DEFAULT_HEADER_BYTES
         handler = self._handler
         if handler is not None:
-            handler(packet.src, packet.payload)
+            obs = self._obs
+            if obs is None:
+                handler(packet.src, packet.payload)
+            else:
+                obs.deliver(self.name, packet, handler)
 
     # ------------------------------------------------------------------
     def fail(self) -> None:
@@ -1040,6 +1051,9 @@ class Network:
         self._adjacency: Dict[str, List[str]] = {}
         self._routes: Dict[str, Dict[str, str]] = {}
         self._packet_ids = itertools.count(1)
+        #: Observability hook (:class:`repro.obs.Tracer`) — ``None`` when
+        #: tracing is off; the egress path then costs one attribute load.
+        self._obs = None
         self._routes_dirty = True
         self.local_loopback_latency_s = 5e-6
         self.dropped_packets = 0
@@ -1301,6 +1315,7 @@ class Network:
         fh_get = self._first_hops.get
         packet_ids = self._packet_ids
         hdr = DEFAULT_HEADER_BYTES
+        obs = self._obs
         # The loop never advances time, so the reference-push instant every
         # transmit would read is the same for the whole group.
         p_ref = self.loop._now
@@ -1315,6 +1330,8 @@ class Network:
                 self.dropped_packets += 1
                 continue
             packet = Packet(src, dst, payload, size_bytes, next(packet_ids), when)
+            if obs is not None:
+                obs.packet_sent(packet)
             if link is None:
                 self._loopback_queue(dst).push(when + self.local_loopback_latency_s, packet)
             else:

@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 __all__ = ["ShardTxnState", "check_cross_shard_atomicity", "check_read_isolation"]
 
@@ -62,6 +62,7 @@ def _parse_prepare(raw: str) -> Tuple[List[str], Dict[str, str]]:
 
 def check_cross_shard_atomicity(
     transactions: Dict[str, Dict[str, ShardTxnState]],
+    tracer: Optional[Any] = None,
 ) -> Tuple[bool, str]:
     """Check properties 1–4 for every transaction; returns ``(ok, message)``.
 
@@ -73,7 +74,18 @@ def check_cross_shard_atomicity(
     distinct transactions distinct values for contended keys (the built-in
     workload generator does); a committed write later overwritten by
     another transaction still counts as applied (the key stays present).
+
+    With a ``tracer`` (``repro.obs.Tracer``) attached, a failure message
+    carries the trace slice of the offending transaction's 2PC phases.
     """
+
+    def fail(txid: str, message: str) -> Tuple[bool, str]:
+        if tracer is not None:
+            from repro.obs.trace import format_phase_slice
+
+            message += format_phase_slice(tracer, [txid])
+        return False, message
+
     for txid, shards in transactions.items():
         prepared = {
             shard: _parse_prepare(state.prepare)
@@ -87,31 +99,33 @@ def check_cross_shard_atomicity(
         # 3. Decisions are grounded in a prepare vote.
         for shard in decisions:
             if shard not in prepared:
-                return False, f"txn {txid}: shard {shard} logged a decision without a prepare"
+                return fail(txid, f"txn {txid}: shard {shard} logged a decision without a prepare")
 
         if not prepared:
             if decisions:
-                return False, f"txn {txid}: decisions exist but no shard prepared"
+                return fail(txid, f"txn {txid}: decisions exist but no shard prepared")
             continue  # transaction never reached any shard: vacuously atomic
 
         # 1. Participant agreement across prepare records.
         participant_sets = {tuple(participants) for participants, _ in prepared.values()}
         if len(participant_sets) != 1:
-            return False, f"txn {txid}: prepare records disagree on participants: {participant_sets}"
+            return fail(
+                txid, f"txn {txid}: prepare records disagree on participants: {participant_sets}"
+            )
         participants = set(next(iter(participant_sets)))
         if not set(prepared) <= participants:
             rogue = sorted(set(prepared) - participants)
-            return False, f"txn {txid}: non-participant shards {rogue} hold prepare records"
+            return fail(txid, f"txn {txid}: non-participant shards {rogue} hold prepare records")
 
         # 2. Decision agreement / all-or-nothing.
         outcomes = set(decisions.values())
         if len(outcomes) > 1:
-            return False, f"txn {txid}: conflicting decisions {decisions}"
+            return fail(txid, f"txn {txid}: conflicting decisions {decisions}")
         committed_shards = {shard for shard, outcome in decisions.items() if outcome == "commit"}
         if committed_shards and committed_shards != participants:
             missing = sorted(participants - committed_shards)
-            return (
-                False,
+            return fail(
+                txid,
                 f"txn {txid}: committed at {sorted(committed_shards)} but not at {missing}",
             )
 
@@ -122,13 +136,13 @@ def check_cross_shard_atomicity(
             for key, value in writes.items():
                 observed = state.data.get(key)
                 if committed and observed is None:
-                    return (
-                        False,
+                    return fail(
+                        txid,
                         f"txn {txid}: committed but write {key!r} missing at shard {shard}",
                     )
                 if not committed and observed == value:
-                    return (
-                        False,
+                    return fail(
+                        txid,
                         f"txn {txid}: not committed yet write {key!r}={value!r} "
                         f"is visible at shard {shard}",
                     )
@@ -138,6 +152,7 @@ def check_cross_shard_atomicity(
 def check_read_isolation(
     reads: Sequence[Dict[str, Optional[str]]],
     committed: Sequence[Tuple[str, Dict[str, str]]],
+    tracer: Optional[Any] = None,
 ) -> Tuple[bool, str]:
     """Reject fractured multi-key reads against the commit order.
 
@@ -184,10 +199,14 @@ def check_read_isolation(
             if missed:
                 txid_seen = committed[frontier - 1][0]
                 txid_missed = committed[missed[0] - 1][0]
-                return (
-                    False,
+                message = (
                     f"read #{position} is fractured: it observes txn {txid_seen!r} "
                     f"(version {frontier}) but key {key!r} misses the write of "
-                    f"txn {txid_missed!r} (version {missed[0]})",
+                    f"txn {txid_missed!r} (version {missed[0]})"
                 )
+                if tracer is not None:
+                    from repro.obs.trace import format_phase_slice
+
+                    message += format_phase_slice(tracer, [txid_seen, txid_missed])
+                return False, message
     return True, f"{len(reads)} multi-key reads consistent with {len(committed)} commits"

@@ -19,6 +19,9 @@ class Operation:
     value: Optional[str]
     invoked_at: float
     completed_at: float
+    #: Wire-level ClientRequest id, when known — lets a failed check pull
+    #: the operation's spans out of an attached tracer.
+    request_id: Optional[int] = None
 
     def overlaps(self, other: "Operation") -> bool:
         return not (self.completed_at < other.invoked_at or other.completed_at < self.invoked_at)
@@ -43,6 +46,7 @@ class History:
         value: Optional[str],
         invoked_at: float,
         completed_at: float,
+        request_id: Optional[int] = None,
     ) -> Operation:
         if completed_at < invoked_at:
             raise ValueError("operation completed before it was invoked")
@@ -54,6 +58,7 @@ class History:
             value=value,
             invoked_at=invoked_at,
             completed_at=completed_at,
+            request_id=request_id,
         )
         self._next_id += 1
         self.operations.append(operation)

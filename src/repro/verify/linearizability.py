@@ -14,7 +14,7 @@ for full benchmark runs.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.verify.history import History, Operation
 
@@ -63,11 +63,26 @@ def check_linearizable_key(
 
 
 def check_linearizable_history(
-    history: History, initial_values: Optional[Dict[str, Optional[str]]] = None
+    history: History,
+    initial_values: Optional[Dict[str, Optional[str]]] = None,
+    tracer: Optional[Any] = None,
 ) -> Tuple[bool, str]:
-    """Check every key of ``history``; returns (ok, first offending key)."""
+    """Check every key of ``history``; returns (ok, first offending key).
+
+    With a ``tracer`` (``repro.obs.Tracer``) attached, a failure message
+    carries the trace slice of the offending key's operations — every hop
+    and protocol phase those requests produced.
+    """
     initial_values = initial_values or {}
     for key, operations in history.by_key().items():
         if not check_linearizable_key(operations, initial_values.get(key)):
-            return False, f"history for key {key!r} is not linearizable"
+            message = f"history for key {key!r} is not linearizable"
+            if tracer is not None:
+                from repro.obs.trace import format_trace_slice
+
+                rids = sorted(
+                    {op.request_id for op in operations if op.request_id is not None}
+                )
+                message += format_trace_slice(tracer, rids)
+            return False, message
     return True, "history is linearizable"

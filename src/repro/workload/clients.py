@@ -166,7 +166,16 @@ class _ArrivalScheduler:
             agent.collector.record_submit(request)
             route_key = agent.route_key
             target = route_key(request.key) if route_key is not None else process.target_node
-            agent.transport.send(target, request, request.wire_size())
+            obs = agent._obs
+            if obs is None:
+                agent.transport.send(target, request, request.wire_size())
+            else:
+                root = obs.request_submitted(request, node=agent.runtime.node_id)
+                previous = obs.push_context(root)
+                try:
+                    agent.transport.send(target, request, request.wire_size())
+                finally:
+                    obs.pop_context(previous)
         elif kind == _KIND_TXN_WRITE:
             keys = keyspace.next_txn_keys(agent.multi_key_span)
             writes = {key: keyspace.next_value() for key in keys}
@@ -227,7 +236,15 @@ class ClientHostAgent:
         self._inflight: Dict[int, ClientProcess] = {}
         self.running = False
         self._scheduler: Optional[_ArrivalScheduler] = None
+        #: Observability hook (repro.obs.Tracer); None = off.  The agent
+        #: opens each request's root span at submit and closes it on reply.
+        self._obs = None
         runtime.set_handler(self.on_message)
+
+    def attach_tracer(self, tracer) -> None:
+        """Trace this agent's requests end to end (detach with ``None``)."""
+        self._obs = tracer
+        self.runtime.attach_tracer(tracer)
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -282,7 +299,16 @@ class ClientHostAgent:
         process.sent += 1
         self.collector.record_submit(request)
         target = self.route_key(request.key) if self.route_key is not None else process.target_node
-        self.transport.send(target, request, request.wire_size())
+        obs = self._obs
+        if obs is None:
+            self.transport.send(target, request, request.wire_size())
+        else:
+            root = obs.request_submitted(request, node=self.runtime.node_id)
+            previous = obs.push_context(root)
+            try:
+                self.transport.send(target, request, request.wire_size())
+            finally:
+                obs.pop_context(previous)
 
     def _send_transaction(self, process: ClientProcess) -> None:
         """Hand a multi-key operation to the 2PC coordinator.
@@ -313,6 +339,8 @@ class ClientHostAgent:
         process.outstanding -= 1
         process.completed += 1
         self.collector.record_reply(message, completed_at=self.runtime.now())
+        if self._obs is not None:
+            self._obs.request_completed(message.request_id)
         if not self.open_loop and self.running:
             # Closed loop: immediately issue the next request.
             self._send_request(process)

@@ -106,6 +106,11 @@ class ZabNode:
             "forwards_sent": 0,
         }
         self.crashed = False
+        #: Observability hook (repro.obs.Tracer) + the protocol label its
+        #: phase spans carry (the zookeeper adapter's attach_tracer sets
+        #: its registry name); None = off, one attribute load per point.
+        self._obs = None
+        self._obs_proto = "zab"
         #: Per-type handler table replacing the delivery isinstance chain.
         self._dispatch = {
             ClientRequest: self._on_client_request,
@@ -186,6 +191,11 @@ class ZabNode:
         txn.acks.add(self.node_id)
         self.pending_txns[zxid] = txn
         self.log.append(self.runtime.now(), sum(r.wire_size() for r in requests))
+        if self._obs is not None:
+            self._obs.phase_begin(
+                self._obs_proto, "propose", self.node_id, key=zxid,
+                request_ids=[request.request_id for request in requests],
+            )
         proposal = ZabProposal(zxid=zxid, origin=origin, requests=requests)
         self.stats["proposals_sent"] += 1
         # wire_size() walks the whole request batch, so the broadcast facade
@@ -198,6 +208,12 @@ class ZabNode:
         if txn.committed:
             return
         txn.committed = True
+        if self._obs is not None:
+            self._obs.phase_end(self._obs_proto, "propose", self.node_id, key=txn.zxid)
+            self._obs.phase_point(
+                self._obs_proto, "commit", self.node_id, key=txn.zxid,
+                request_ids=[request.request_id for request in txn.requests],
+            )
         commit = ZabCommit(zxid=txn.zxid)
         self.transport.broadcast(self.followers, commit, commit.wire_size())
         if self.observers:
@@ -255,6 +271,11 @@ class ZabNode:
         if zxid <= self.last_committed_zxid:
             return
         self.last_committed_zxid = zxid
+        if self._obs is not None:
+            self._obs.phase_point(
+                self._obs_proto, "apply", self.node_id, key=zxid,
+                request_ids=[request.request_id for request in requests],
+            )
         for request in requests:
             self.store.write(request.key, request.value or "")
             self.committed_requests.append(request)

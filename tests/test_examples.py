@@ -33,6 +33,7 @@ def _run_example(name: str) -> subprocess.CompletedProcess:
     [
         ("quickstart.py", ["Agreement across 6 nodes: True", "Done."]),
         ("sharded_kvstore.py", ["Transaction", "Done."]),
+        ("traced_run.py", ["Per-phase latency breakdown", "protocol epaxos", "Done."]),
     ],
 )
 def test_example_runs_clean(script: str, markers: list) -> None:
