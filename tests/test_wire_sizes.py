@@ -1,135 +1,30 @@
 """Wire-size golden tests.
 
 Every protocol message's ``wire_size()`` is pinned to an explicit byte
-value here.  The simulator's bandwidth and CPU models consume these sizes,
+value.  The simulator's bandwidth and CPU models consume these sizes,
 so any drift — intended or not — changes modelled timing and breaks the
 byte-identical commit-log contract.  This table landed *before* the
 message-representation slimming (``__slots__``, cached sizes) of ISSUE 7
 precisely so that refactor could not silently move a size.
 
-Each row is ``(message instance, expected bytes)``.  Batched messages are
-checked at several batch shapes, since their size is a function of the
-batch.
+The golden rows themselves live in ``tests/wire_golden.py`` (ISSUE 9)
+so that the ``slots-required`` static-analysis rule and this test read
+one source of truth: the rows drive the assertions here, and the
+:data:`wire_golden.WIRE_COVERED` literal the linter cross-checks is
+verified below to agree with the classes the rows actually construct.
 """
 
 from __future__ import annotations
 
+import importlib
+
 import pytest
 
-from repro.broadcast.base import BroadcastEnvelope
-from repro.broadcast.raft_broadcast import _ForwardedBroadcast
-from repro.canopus.membership import Heartbeat, JoinAck, JoinRequest
-from repro.canopus.messages import (
-    ClientReply,
-    ClientRequest,
-    MembershipUpdate,
-    Proposal,
-    ProposalRequest,
-    RequestType,
-    wire_size,
-)
-from repro.epaxos.messages import Accept, AcceptOK, Commit, InstanceId, PreAccept, PreAcceptOK
-from repro.epaxos.node import _Probe, _ProbeReply
-from repro.protocols.raft_kv import _ReadForward, _WriteForward
-from repro.raft.log import LogEntry
-from repro.raft.messages import AppendEntries, AppendEntriesReply, RequestVote, RequestVoteReply
-from repro.zab.messages import WriteForward, ZabAck, ZabCommit, ZabInform, ZabProposal
+from repro.canopus.messages import Proposal, RequestType, wire_size
+from repro.epaxos.messages import PreAccept
+from repro.zab.messages import ZabProposal
 
-
-def _request(**overrides):
-    defaults = dict(client_id="c", op=RequestType.WRITE, key="k", value="v")
-    defaults.update(overrides)
-    return ClientRequest(**defaults)
-
-
-def _reply():
-    return ClientReply(
-        request_id=1, client_id="c", op=RequestType.READ, key="k", value="v", committed_cycle=1
-    )
-
-
-def _requests(count):
-    return tuple(_request() for _ in range(count))
-
-
-def _deps(count):
-    return frozenset(InstanceId(replica=f"n{i}", slot=i) for i in range(count))
-
-
-def _instance():
-    return InstanceId(replica="n0", slot=1)
-
-
-GOLDEN = [
-    # -- workload / client plane (shared by every protocol) --------------
-    ("client-request", lambda: _request(), 48),
-    ("client-request-read", lambda: _request(op=RequestType.READ, value=None), 48),
-    ("client-reply", lambda: _reply(), 48),
-    # -- canopus ---------------------------------------------------------
-    ("membership-update", lambda: MembershipUpdate("add", "n1", "sl0"), 32),
-    ("proposal-empty", lambda: Proposal(1, 1, "v0", "n0", 1), 40),
-    ("proposal-3req", lambda: Proposal(1, 1, "v0", "n0", 1, requests=_requests(3)), 40 + 3 * 48),
-    (
-        "proposal-2req-1member",
-        lambda: Proposal(
-            1, 2, "v0", "n0", 1, requests=_requests(2),
-            membership_updates=(MembershipUpdate("add", "n1", "sl0"),),
-        ),
-        40 + 2 * 48 + 32,
-    ),
-    ("proposal-request", lambda: ProposalRequest(1, 1, "v0", "n0"), 24),
-    ("heartbeat", lambda: Heartbeat(sender="n0", sent_at=0.5), 24),
-    ("join-request", lambda: JoinRequest(node_id="n1", super_leaf="sl0"), 48),
-    ("join-ack", lambda: JoinAck(from_node="n0", last_committed_cycle=3, commit_log_length=9), 48),
-    ("broadcast-envelope", lambda: BroadcastEnvelope("n0", 1, _request(), 1), 48 + 24),
-    ("broadcast-envelope-opaque", lambda: BroadcastEnvelope("n0", 1, object(), 1), 64 + 24),
-    (
-        "forwarded-broadcast",
-        lambda: _ForwardedBroadcast("g0", BroadcastEnvelope("n0", 1, _request(), 1)),
-        48 + 24 + 24,
-    ),
-    # -- epaxos ----------------------------------------------------------
-    ("preaccept-1cmd", lambda: PreAccept(_instance(), _requests(1), 1, frozenset()), 56 + 48),
-    (
-        "preaccept-4cmd-2dep",
-        lambda: PreAccept(_instance(), _requests(4), 1, _deps(2)),
-        56 + 4 * 48 + 2 * 16,
-    ),
-    ("preaccept-ok", lambda: PreAcceptOK(_instance(), "n1", 1, frozenset(), False), 56),
-    ("preaccept-ok-2dep", lambda: PreAcceptOK(_instance(), "n1", 1, _deps(2), True), 56 + 2 * 16),
-    ("accept-2cmd", lambda: Accept(_instance(), _requests(2), 1, frozenset()), 56 + 2 * 48),
-    ("accept-ok", lambda: AcceptOK(_instance(), "n1"), 56),
-    ("commit-3cmd-1dep", lambda: Commit(_instance(), _requests(3), 1, _deps(1)), 56 + 3 * 48 + 16),
-    ("epaxos-probe", lambda: _Probe(sender="n0", sent_at=0.5), 16),
-    ("epaxos-probe-reply", lambda: _ProbeReply(sender="n1", echoed_at=0.5), 16),
-    # -- zab / zookeeper -------------------------------------------------
-    ("zab-write-forward-2req", lambda: WriteForward("n1", _requests(2)), 48 + 2 * 48),
-    ("zab-proposal-1req", lambda: ZabProposal(1, "n0", _requests(1)), 48 + 48),
-    ("zab-ack", lambda: ZabAck(1, "n1"), 48),
-    ("zab-commit", lambda: ZabCommit(1), 48),
-    ("zab-inform-2req", lambda: ZabInform(1, "n0", _requests(2)), 48 + 2 * 48),
-    # -- raft (consensus core, shared by canopus broadcast + raft KV) ----
-    ("request-vote", lambda: RequestVote("g", 1, "n0", 0, 0), 48),
-    ("request-vote-reply", lambda: RequestVoteReply("g", 1, "n1", True), 48),
-    ("append-entries-empty", lambda: AppendEntries("g", 1, "n0", 0, 0), 48),
-    (
-        "append-entries-2cmd",
-        lambda: AppendEntries(
-            "g", 1, "n0", 0, 0,
-            entries=(LogEntry(1, 1, _request()), LogEntry(2, 1, _request())),
-        ),
-        48 + 2 * (48 + 16),
-    ),
-    (
-        "append-entries-opaque-cmd",
-        lambda: AppendEntries("g", 1, "n0", 0, 0, entries=(LogEntry(1, 1, object()),)),
-        48 + 64 + 16,
-    ),
-    ("append-entries-reply", lambda: AppendEntriesReply("g", 1, "n1", True, 1), 48),
-    # -- raft KV service (registry protocol "raft") ----------------------
-    ("raftkv-write-forward", lambda: _WriteForward(origin="n1", request=_request()), 48 + 24),
-    ("raftkv-read-forward", lambda: _ReadForward(client="c0", request=_request()), 48 + 24),
-]
+from wire_golden import GOLDEN, WIRE_COVERED, _instance, _requests
 
 
 @pytest.mark.parametrize("name,factory,expected", GOLDEN, ids=[row[0] for row in GOLDEN])
@@ -151,3 +46,60 @@ def test_batched_sizes_scale_linearly():
         assert PreAccept(_instance(), _requests(count), 1, frozenset()).wire_size() == 56 + 48 * count
         assert ZabProposal(1, "n0", _requests(count)).wire_size() == 48 + 48 * count
         assert Proposal(1, 1, "v0", "n0", 1, requests=_requests(count)).wire_size() == 40 + 48 * count
+
+
+def _module_name(relpath: str) -> str:
+    assert relpath.startswith("src/") and relpath.endswith(".py")
+    return relpath[len("src/"):-len(".py")].replace("/", ".")
+
+
+def test_wire_covered_matches_golden_factories():
+    """``WIRE_COVERED`` (the literal the linter reads statically) must list
+    exactly the ``wire_size``-bearing classes of each module it names, and
+    every class a GOLDEN factory constructs must be listed — so the linter's
+    coverage map cannot drift from what the goldens actually pin."""
+    listed = {}
+    for relpath, class_names in WIRE_COVERED.items():
+        module = importlib.import_module(_module_name(relpath))
+        with_wire_size = {
+            name
+            for name, obj in vars(module).items()
+            if isinstance(obj, type)
+            and obj.__module__ == module.__name__
+            and not issubclass(obj, (BaseException,))
+            and "wire_size" in vars(obj)
+        }
+        assert set(class_names) == with_wire_size, (
+            f"{relpath}: WIRE_COVERED lists {sorted(class_names)} but the module "
+            f"defines wire_size on {sorted(with_wire_size)}"
+        )
+        for name in class_names:
+            listed[(module.__name__, name)] = getattr(module, name)
+
+    listed_classes = set(listed.values())
+    for name, factory, _expected in GOLDEN:
+        constructed = type(factory())
+        if constructed.__name__ == "object":  # opaque-payload rows wrap object()
+            continue
+        assert constructed in listed_classes, (
+            f"golden row {name!r} constructs {constructed.__qualname__}, "
+            "which WIRE_COVERED does not list"
+        )
+
+
+def test_wire_covered_is_a_pure_literal():
+    """The linter evaluates the WIRE_COVERED assignment with
+    ``ast.literal_eval`` — re-parse the source the same way to guarantee
+    it stays statically readable."""
+    import ast
+    import pathlib
+
+    source = pathlib.Path(__file__).with_name("wire_golden.py").read_text()
+    tree = ast.parse(source)
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "WIRE_COVERED" for t in node.targets
+        ):
+            assert ast.literal_eval(node.value) == WIRE_COVERED
+            return
+    pytest.fail("WIRE_COVERED assignment not found in wire_golden.py")
