@@ -1,0 +1,72 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline (``detlint_baseline.json`` at the repo root) lists
+findings that predate a rule and are consciously tolerated; each entry
+carries a ``note`` saying why.  Matching is by fingerprint — rule +
+path + stripped source line + occurrence index, deliberately not the
+line number — so edits elsewhere in a file do not invalidate entries,
+while any edit to the offending line itself (or fixing it) surfaces the
+entry as stale.  Baselined findings are reported but never fail the
+gate; stale entries are reported so the file shrinks over time instead
+of rotting.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List
+
+from repro.analysis.core import Finding
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: str) -> Dict[str, Dict[str, object]]:
+    """fingerprint -> entry; empty when the file does not exist."""
+    if not os.path.isfile(path):
+        return {}
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    entries = data.get("findings", [])
+    return {str(entry["fingerprint"]): entry for entry in entries if "fingerprint" in entry}
+
+
+def save_baseline(path: str, findings: Iterable[Finding], notes: Dict[str, str] = None) -> None:
+    """Write ``findings`` as the new baseline, preserving the note of any
+    entry that already existed (keyed by fingerprint)."""
+    existing = load_baseline(path)
+    notes = notes or {}
+    entries: List[Dict[str, object]] = []
+    for finding in sorted(findings, key=lambda f: (f.path, f.line, f.rule)):
+        prior = existing.get(finding.fingerprint, {})
+        entries.append(
+            {
+                "fingerprint": finding.fingerprint,
+                "rule": finding.rule,
+                "path": finding.path,
+                "line_text": finding.line_text.strip(),
+                "message": finding.message,
+                "note": notes.get(finding.fingerprint)
+                or prior.get("note")
+                or "grandfathered at baseline creation — add a reason",
+            }
+        )
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def apply_baseline(
+    findings: List[Finding], baseline: Dict[str, Dict[str, object]]
+) -> List[str]:
+    """Mark findings present in ``baseline`` as baselined (in place) and
+    return the fingerprints of stale entries (baselined but no longer
+    found)."""
+    live = set()
+    for finding in findings:
+        if finding.fingerprint in baseline:
+            finding.baselined = True
+            live.add(finding.fingerprint)
+    return sorted(set(baseline) - live)

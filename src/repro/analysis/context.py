@@ -1,0 +1,96 @@
+"""Repository context: the set of parsed modules a run analyses.
+
+Cross-module rules (``slots-required``, ``dispatch-complete``) need to
+see every module of the run plus committed runtime artifacts (the
+wire-size golden coverage map under ``tests/``), so the runner builds
+one :class:`RepoContext` up front and hands it to each rule's
+``finish`` hook.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis.core import ModuleInfo
+
+
+class ParseFailure(Exception):
+    """A target file could not be parsed; carries the syntax error."""
+
+    def __init__(self, path: str, error: SyntaxError) -> None:
+        super().__init__(f"{path}: {error}")
+        self.path = path
+        self.error = error
+
+
+def _iter_python_files(target: str) -> Iterable[str]:
+    if os.path.isfile(target):
+        if target.endswith(".py"):
+            yield target
+        return
+    for dirpath, dirnames, filenames in os.walk(target):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__" and not d.startswith("."))
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                yield os.path.join(dirpath, filename)
+
+
+class RepoContext:
+    """Parsed modules of one analysis run, keyed by repo-relative path."""
+
+    def __init__(self, repo_root: str, targets: List[str]) -> None:
+        self.repo_root = os.path.abspath(repo_root)
+        self.targets = targets
+        self.modules: List[ModuleInfo] = []
+        self._by_relpath: Dict[str, ModuleInfo] = {}
+        for target in targets:
+            for path in _iter_python_files(target):
+                relpath = os.path.relpath(os.path.abspath(path), self.repo_root)
+                relpath = relpath.replace(os.sep, "/")
+                if relpath in self._by_relpath:
+                    continue
+                with open(path, "r", encoding="utf-8") as handle:
+                    source = handle.read()
+                try:
+                    module = ModuleInfo(path=path, relpath=relpath, source=source)
+                except SyntaxError as exc:
+                    raise ParseFailure(path, exc) from exc
+                self.modules.append(module)
+                self._by_relpath[relpath] = module
+
+    # ------------------------------------------------------------------
+    def module_at(self, relpath: str) -> Optional[ModuleInfo]:
+        return self._by_relpath.get(relpath)
+
+    def modules_matching(self, suffix: str) -> List[ModuleInfo]:
+        """Modules whose repo-relative path ends with ``suffix``."""
+        return [m for m in self.modules if m.relpath.endswith(suffix)]
+
+    def artifact_path(self, relpath: str) -> str:
+        """Absolute path of a committed artifact outside the scanned
+        targets (e.g. ``tests/wire_golden.py``)."""
+        return os.path.join(self.repo_root, relpath.replace("/", os.sep))
+
+    def load_artifact_literal(self, relpath: str, variable: str):
+        """Statically read a module-level pure-literal assignment from an
+        artifact file.  Returns ``None`` when the file or the variable is
+        missing; raises ``ValueError`` when the value is not a literal."""
+        path = self.artifact_path(relpath)
+        if not os.path.isfile(path):
+            return None
+        with open(path, "r", encoding="utf-8") as handle:
+            tree = ast.parse(handle.read(), filename=path)
+        for node in tree.body:
+            if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == variable for t in node.targets
+            ):
+                try:
+                    return ast.literal_eval(node.value)
+                except ValueError as exc:
+                    raise ValueError(
+                        f"{relpath}: {variable} must stay a pure literal "
+                        f"(ast.literal_eval failed: {exc})"
+                    ) from exc
+        return None
