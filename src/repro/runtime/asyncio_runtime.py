@@ -34,10 +34,13 @@ class AsyncioRuntime(Runtime):
         self.node_id = node_id
         self.rng = random.Random(seed)
         self._handler: Optional[Callable[[str, Any], None]] = None
-        self._start = time.monotonic()
+        # The asyncio substrate IS the wall-clock runtime: Runtime.now()
+        # is defined as elapsed host time here (real concurrency, no
+        # modelled clock), so reading the host clock is the contract.
+        self._start = time.monotonic()  # detlint: disable=no-wallclock
 
     def now(self) -> float:
-        return time.monotonic() - self._start
+        return time.monotonic() - self._start  # detlint: disable=no-wallclock
 
     def send(self, dst: str, message: Any, size_bytes: Optional[int] = None) -> None:
         self.cluster.post(self.node_id, dst, message)
@@ -154,9 +157,11 @@ class AsyncioCluster:
 
     async def settle(self, timeout_s: float = 5.0, quiescent_rounds: int = 3) -> None:
         """Wait until no messages are in flight for a few scheduler turns."""
-        deadline = time.monotonic() + timeout_s
+        # Wall-clock by design: settle() bounds a *real* asyncio scheduler,
+        # not simulated time.
+        deadline = time.monotonic() + timeout_s  # detlint: disable=no-wallclock
         quiet = 0
-        while time.monotonic() < deadline:
+        while time.monotonic() < deadline:  # detlint: disable=no-wallclock
             if self._pending == 0:
                 quiet += 1
                 if quiet >= quiescent_rounds:
