@@ -172,7 +172,10 @@ class AsyncioCluster:
 
     def close(self) -> None:
         pending = asyncio.all_tasks(self.loop) if self.loop.is_running() else set()
-        for task in pending:
+        # Cancellation is order-insensitive (no task observes another's
+        # cancellation order) and this substrate is non-deterministic by
+        # design, so set order is harmless here.
+        for task in pending:  # detlint: disable=no-unordered-iteration
             task.cancel()
         self.loop.close()
 
