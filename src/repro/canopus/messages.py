@@ -69,7 +69,9 @@ class ClientRequest:
 
 
 @dataclass(slots=True)
-class ClientReply:
+# Client-plane: replies go to workload clients via their reply queue,
+# never through a node's _dispatch table.
+class ClientReply:  # detlint: disable=dispatch-complete
     """Reply returned to the client once its request is served."""
 
     request_id: int
@@ -86,7 +88,9 @@ class ClientReply:
 
 
 @dataclass(frozen=True, slots=True)
-class MembershipUpdate:
+# Payload-only: rides inside Proposal.membership_updates, never
+# delivered as a top-level message.
+class MembershipUpdate:  # detlint: disable=dispatch-complete
     """A join or leave event piggybacked on proposals (§4.6)."""
 
     action: str  # "add" or "delete"
