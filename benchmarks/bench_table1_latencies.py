@@ -6,7 +6,6 @@ benchmark (a) prints the matrix the simulator is configured with and
 of regions are dominated by exactly those latencies.
 """
 
-import pytest
 
 from benchmarks.common import run_once
 from repro.bench.experiments import table1_latency_matrix

@@ -63,7 +63,7 @@ def main() -> None:
     for node_id in ("n2-0", "n2-1", "n2-2"):
         topology.network.hosts[node_id].fail()
         cluster.nodes[node_id].crash()
-    stalled = submit_write(cluster, "n0-0", "phase-3", "rack down")
+    submit_write(cluster, "n0-0", "phase-3", "rack down")
     simulator.run_until(6.0)
     committed_after = committed_keys(cluster.nodes["n0-0"])
     print("  committed on n0-0:", committed_after)

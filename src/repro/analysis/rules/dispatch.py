@@ -23,7 +23,7 @@ from __future__ import annotations
 import ast
 from typing import List, Optional, Set
 
-from repro.analysis.core import ModuleInfo, Reporter, Rule, Severity
+from repro.analysis.core import ModuleInfo, Rule, Severity
 from repro.analysis.rules.slots import _defines_wire_size
 
 #: Explicit (messages module suffix, node module suffix) pairs that the

@@ -22,7 +22,7 @@ from repro.bench.runner import ExperimentProfile, RatePointResult, find_max_thro
 from repro.canopus.config import CanopusConfig
 from repro.epaxos.node import EPaxosConfig
 from repro.kvstore.persistence import StorageDevice
-from repro.sim.latencies import EC2_LATENCIES_MS, EC2_REGIONS, latency_ms, regions_for_count
+from repro.sim.latencies import EC2_REGIONS, latency_ms
 from repro.zab.node import ZabConfig
 
 __all__ = [

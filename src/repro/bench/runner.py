@@ -21,11 +21,11 @@ import json
 import random
 import time
 import tracemalloc
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from functools import partial
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.bench.builders import SystemUnderTest, build_system, make_multi_dc_topology, make_single_dc_topology
+from repro.bench.builders import SystemUnderTest, build_system, make_single_dc_topology
 from repro.metrics.collector import RunSummary
 from repro.sim.engine import Simulator
 from repro.workload.generator import WorkloadConfig, WorkloadGenerator

@@ -15,7 +15,7 @@ activates the lease for the same span of cycles.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List
 
 __all__ = ["LeaseTable", "WriteLease"]
 

@@ -13,8 +13,8 @@ preserve each client's FIFO order with respect to its own writes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.canopus.messages import ClientRequest
 

@@ -13,8 +13,8 @@ super-leaf and the bookkeeping for pending membership updates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Set
 
 from repro.canopus.messages import MembershipUpdate
 from repro.runtime.base import Runtime, Timer

@@ -35,7 +35,7 @@ from repro.broadcast.base import ReliableBroadcast
 from repro.canopus.config import CanopusConfig
 from repro.canopus.cycle import CycleState, FetchState
 from repro.canopus.leases import LeaseTable
-from repro.canopus.linearizer import PendingRead, ReadLinearizer
+from repro.canopus.linearizer import ReadLinearizer
 from repro.canopus.lot import EmulationTable, LeafOnlyTree
 from repro.canopus.membership import FailureDetector, Heartbeat, JoinRequest, MembershipManager
 from repro.canopus.messages import (
@@ -44,7 +44,6 @@ from repro.canopus.messages import (
     MembershipUpdate,
     Proposal,
     ProposalRequest,
-    RequestType,
 )
 from repro.canopus.proposal import merge_proposals
 from repro.runtime.base import Runtime, Timer

@@ -8,7 +8,7 @@ proposal keep their arrival order, which preserves per-client FIFO order.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import List, Sequence
 
 from repro.canopus.messages import ClientRequest, MembershipUpdate, Proposal
 

@@ -7,8 +7,8 @@ command (reads included) to a quorum of replicas.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Optional, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple
 
 from repro.canopus.messages import ClientRequest
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import List
 
 __all__ = ["StorageDevice", "PersistenceModel"]
 

@@ -2,14 +2,14 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.verify.history import History
 
 from repro.canopus.messages import ClientReply, ClientRequest, RequestType
-from repro.metrics.stats import percentile, summarize
+from repro.metrics.stats import percentile
 
 __all__ = ["RequestRecord", "RunSummary", "MetricsCollector"]
 

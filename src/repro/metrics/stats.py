@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 __all__ = ["percentile", "mean", "stddev", "confidence_interval_95", "summarize"]
 

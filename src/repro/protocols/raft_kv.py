@@ -41,7 +41,7 @@ switchable at runtime through ``protocol.set_read_mode``):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.canopus.messages import ClientReply, ClientRequest
 from repro.kvstore.store import KVStore

@@ -7,8 +7,8 @@ for reliable broadcast (each super-leaf member leads its own group).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Tuple
 
 __all__ = ["RequestVote", "RequestVoteReply", "AppendEntries", "AppendEntriesReply", "RAFT_MESSAGE_TYPES"]
 

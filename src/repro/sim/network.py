@@ -22,11 +22,11 @@ from __future__ import annotations
 
 import itertools
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from heapq import heapify, heappop, heapreplace
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.sim.engine import Event, EventLoop, SimulationError
+from repro.sim.engine import EventLoop, SimulationError
 
 __all__ = [
     "Packet",

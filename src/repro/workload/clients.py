@@ -11,7 +11,7 @@ client host over that host's single network endpoint.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from heapq import heapify, heapreplace
 from typing import Callable, Dict, List, Optional, Tuple
 

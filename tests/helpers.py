@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.bench.builders import build_system, make_single_dc_topology
 from repro.canopus.cluster import CanopusCluster, build_sim_cluster
 from repro.canopus.config import CanopusConfig
 from repro.canopus.messages import ClientReply, ClientRequest, RequestType

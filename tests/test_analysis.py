@@ -15,7 +15,6 @@ import json
 import os
 import pathlib
 
-import pytest
 
 from repro.analysis.baseline import load_baseline, save_baseline
 from repro.analysis.runner import main, run_analysis

@@ -1,6 +1,5 @@
 """Canopus on the asyncio transport: the same protocol code, real concurrency."""
 
-import pytest
 
 from repro.canopus.cluster import CanopusCluster
 from repro.canopus.config import CanopusConfig

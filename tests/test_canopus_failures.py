@@ -1,10 +1,9 @@
 """Failure-injection tests: node crashes, membership updates, stalls."""
 
-import pytest
 
 from repro.canopus.messages import MembershipUpdate
 from repro.verify.agreement import check_agreement
-from tests.helpers import build_canopus_on_sim, committed_orders, fast_config, write
+from tests.helpers import build_canopus_on_sim, fast_config, write
 
 
 def crash(topology, cluster, node_id):

@@ -4,7 +4,6 @@ These tests exercise the full protocol stack (LOT, proposals, reliable
 broadcast, representatives, commit) on the deterministic simulator.
 """
 
-import pytest
 
 from repro.canopus.messages import RequestType
 from repro.verify.agreement import check_agreement

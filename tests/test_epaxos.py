@@ -1,6 +1,5 @@
 """Tests for the EPaxos baseline."""
 
-import pytest
 
 from repro.canopus.messages import ClientRequest, RequestType
 from repro.epaxos.messages import InstanceId

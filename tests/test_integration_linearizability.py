@@ -5,7 +5,6 @@ through the simulator with concurrent clients and check the externally
 observable history with the verification tools — the properties §6 claims.
 """
 
-import pytest
 
 from repro.canopus.messages import ClientRequest, RequestType
 from repro.verify.agreement import check_agreement, check_fifo_client_order

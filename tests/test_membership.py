@@ -1,9 +1,8 @@
 """Tests for the failure detector and membership manager."""
 
-import pytest
 
 from repro.canopus.lot import LeafOnlyTree
-from repro.canopus.membership import FailureDetector, Heartbeat, MembershipManager
+from repro.canopus.membership import FailureDetector, MembershipManager
 from repro.canopus.messages import MembershipUpdate
 from repro.runtime.sim_runtime import SimRuntime
 from repro.sim.engine import Simulator

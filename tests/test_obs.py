@@ -43,7 +43,6 @@ from repro.obs import (
     Tracer,
     format_phase_slice,
     format_trace_slice,
-    trace_digest,
     trace_to_dict,
 )
 from repro.obs.report import build_report

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.raft.log import LogEntry, RaftLog
-from repro.raft.node import RaftConfig, RaftNode, Role
+from repro.raft.node import RaftConfig, RaftNode
 from repro.runtime.sim_runtime import SimRuntime
 from repro.sim.engine import Simulator
 from repro.sim.network import Network

@@ -20,7 +20,7 @@ import importlib
 
 import pytest
 
-from repro.canopus.messages import Proposal, RequestType, wire_size
+from repro.canopus.messages import Proposal, wire_size
 from repro.epaxos.messages import PreAccept
 from repro.zab.messages import ZabProposal
 

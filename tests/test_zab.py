@@ -1,6 +1,5 @@
 """Tests for the ZooKeeper/Zab baseline."""
 
-import pytest
 
 from repro.canopus.messages import ClientRequest, RequestType
 from repro.kvstore.persistence import StorageDevice
