@@ -330,6 +330,9 @@ class PerfPoint:
     #: Total scheduled operations for ``kind="engine"`` points (split
     #: between the wheel-friendly and wheel-hostile distributions).
     engine_ops: int = 120_000
+    #: Total sends for ``kind="switch"`` points (split between the skewed
+    #: and uniform lane-load distributions).
+    drain_ops: int = 60_000
     #: Submitted requests for ``kind="asyncio"`` points (real concurrency
     #: is wall-clock-expensive, so op counts are far below the sim points).
     asyncio_ops: int = 30
@@ -396,6 +399,23 @@ PERF_POINTS: Dict[str, PerfPoint] = {
         label="engine-wheel-mix",
         system="engine",
         kind="engine",
+        rate_hz=0.0,
+        write_ratio=0.0,
+        client_processes=0,
+        repeats=3,
+    ),
+    # The switch-lane merge alone, no protocol: a two-tier topology (racks
+    # of hosts behind ToR switches behind one spine) driven by a
+    # deterministic cross-rack send mix at a skewed lane-load distribution
+    # (one hot rack, a few hot talkers — deep lanes dominate the merge) and
+    # a uniform one (every lane shallow — index maintenance dominates).
+    # The digest pins the delivery trace, so lane-index regressions surface
+    # in isolation from protocol noise, exactly as engine-microbench does
+    # for the timer wheel.
+    "switch-drain": PerfPoint(
+        label="switch-lane-merge-mix",
+        system="network",
+        kind="switch",
         rate_hz=0.0,
         write_ratio=0.0,
         client_processes=0,
@@ -494,6 +514,95 @@ def _run_engine_microbench(point: PerfPoint) -> Tuple[int, str, int]:
         fired += len(trace)
         digest.update(repr(trace).encode("utf-8"))
     return events, digest.hexdigest(), fired
+
+
+def _drive_switch_drain_mix(
+    loop_cls: type, ops: int, seed: int, skewed: bool
+) -> Tuple[Any, List[tuple]]:
+    """Drive the switch-lane merge through a deterministic cross-rack send mix.
+
+    Builds a two-tier tree (3 racks x 8 hosts behind ToR switches behind
+    one spine) so every lane flavour is on the path: host-link lanes into
+    the ToRs, ToR lanes into the spine, and spine lanes back down — the
+    exact structures ``Switch._drain_to`` merges through the persistent
+    lane index.  Like :func:`_drive_engine_mix` it doubles as the
+    micro-benchmark and the differential-test driver: it returns the loop
+    plus the delivered ``(dst, src, tag, time)`` trace, which must be
+    byte-identical between the lazy lane-index delivery and the eager
+    reference (demoted lanes / :class:`HeapEventLoop`).
+
+    ``skewed=True`` concentrates sends on a few hot talkers (cubed draw:
+    roughly half the traffic from the first ~5 hosts), so a handful of
+    deep lanes dominate each merge.  ``skewed=False`` spreads sends
+    uniformly, so every lane stays shallow and the run is dominated by
+    index maintenance (heappush/heapreplace churn) instead of long
+    same-lane group walks.  Bounded ``run_until`` windows interleave with
+    the pushes so drains hit mid-window caps, dry lanes, and reopened
+    head groups.
+    """
+    from repro.sim.network import Network
+
+    racks, per_rack = 3, 8
+    rng = random.Random(seed)
+    loop = loop_cls()
+    net = Network(loop)
+    names: List[str] = []
+    for rack in range(racks):
+        # Zero-delay switches: the lane machinery only attaches to these
+        # (a forwarding delay forces the eager per-packet path).
+        net.add_switch(f"tor-{rack}")
+        for index in range(per_rack):
+            name = f"h{rack}-{index}"
+            names.append(name)
+            net.add_host(name)
+            net.add_link(name, f"tor-{rack}", latency_s=5e-6, bandwidth_bps=10e9)
+    net.add_switch("spine")
+    for rack in range(racks):
+        net.add_link(f"tor-{rack}", "spine", latency_s=5e-6, bandwidth_bps=40e9)
+
+    trace: List[tuple] = []
+    count = len(names)
+    for name in names:
+        def on_rx(src: str, payload: Any, me: str = name) -> None:
+            trace.append((me, src, payload, loop.now))
+
+        net.element(name).set_handler(on_rx)
+
+    for index in range(ops):
+        if skewed:
+            src_i = int(rng.random() ** 3 * count)
+        else:
+            src_i = rng.randrange(count)
+        dst_i = rng.randrange(count - 1)
+        if dst_i >= src_i:
+            dst_i += 1
+        net.send(names[src_i], names[dst_i], index, 128 + (index & 511))
+        if index & 511 == 511:
+            loop.run_until(loop.now + rng.random() * 5e-4)
+    loop.run()
+    return loop, trace
+
+
+def _run_switch_drain_microbench(point: PerfPoint) -> Tuple[int, str, int]:
+    """Run the switch-drain micro-benchmark; returns (events, digest, delivered).
+
+    The digest fingerprints the delivered traces of both lane-load
+    distributions, so the CI digest gate pins the merged forward *order*
+    exactly as engine-microbench pins the timer wheel's fired order.
+    """
+    from repro.sim.engine import EventLoop
+
+    events = 0
+    delivered = 0
+    digest = hashlib.sha256()
+    for skewed in (True, False):
+        loop, trace = _drive_switch_drain_mix(
+            EventLoop, point.drain_ops // 2, point.seed + skewed, skewed
+        )
+        events += loop.processed_events
+        delivered += len(trace)
+        digest.update(repr(trace).encode("utf-8"))
+    return events, digest.hexdigest(), delivered
 
 
 def _run_asyncio_smoke(point: PerfPoint) -> Tuple[int, int]:
@@ -610,13 +719,20 @@ def run_perf_tracking(point: PerfPoint) -> Dict[str, Any]:
     (:mod:`repro.bench.shard_bench`): same measurements, with the commit-log
     digest taken over every shard's replicas.  ``kind="engine"`` points run
     the engine micro-benchmark (no protocol; the digest pins the fired
-    trace), and ``kind="asyncio"`` points run on the asyncio substrate (no
-    digest — real concurrency is non-deterministic).
+    trace), ``kind="switch"`` points run the switch-lane merge
+    micro-benchmark (no protocol; the digest pins the delivery trace), and
+    ``kind="asyncio"`` points run on the asyncio substrate (no digest —
+    real concurrency is non-deterministic).
     """
     if point.kind == "engine":
 
         def run():
             return _run_engine_microbench(point)
+
+    elif point.kind == "switch":
+
+        def run():
+            return _run_switch_drain_microbench(point)
 
     elif point.kind == "asyncio":
 

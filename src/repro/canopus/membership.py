@@ -44,18 +44,6 @@ class JoinRequest:
         return 48
 
 
-@dataclass(slots=True)
-class JoinAck:
-    """Acknowledgement carrying the state a joining node needs to catch up."""
-
-    from_node: str
-    last_committed_cycle: int
-    commit_log_length: int
-
-    def wire_size(self) -> int:
-        return 48
-
-
 class FailureDetector:
     """Heartbeat/timeout failure detector within one super-leaf (§3.6, §4.6)."""
 

@@ -172,6 +172,41 @@ class EventLoop:
         self._quiesce_hooks.append(hook)
 
     # ------------------------------------------------------------------
+    # Hidden events and virtual accounting
+    #
+    # The lazy delivery layer (repro.sim.network) elides reference-engine
+    # events and replays their work in batches.  Its own helper events —
+    # switch drains, idle-CPU wake-ups — have no reference counterpart and
+    # must stay invisible to ``len(loop)`` / ``processed_events``, while
+    # the *elided* reference events must be mirrored into those counters
+    # at replay time.  These two methods are the only sanctioned way to do
+    # either; mutating ``_live`` / ``_processed`` from outside this module
+    # is flagged by the ``no-engine-counter-poke`` detlint rule.
+    # ------------------------------------------------------------------
+    def schedule_hidden(self, when: float, callback: Callable[[], None], priority: int = 10) -> None:
+        """Schedule a non-cancellable callback invisible to ``len(loop)``.
+
+        The entry executes exactly like a :meth:`schedule_fast` entry but
+        is not counted as live; the callback must call
+        ``adjust_hidden(1, -1)`` first thing to undo :meth:`step`'s
+        per-event accounting (the loop cannot tell a hidden entry apart
+        at execution time).
+        """
+        self.schedule_fast(when, callback, priority)
+        self._live -= 1
+
+    def adjust_hidden(self, live: int = 0, processed: int = 0) -> None:
+        """Adjust the observable counters on behalf of elided events.
+
+        ``live`` mirrors reference-engine armed entries into ``len(loop)``
+        (or, with ``(1, -1)``, restores the decrement/increment a firing
+        hidden entry was charged by :meth:`step`); ``processed`` counts
+        replayed reference flushes into :attr:`processed_events`.
+        """
+        self._live += live
+        self._processed += processed
+
+    # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
     def _insert(self, entry: tuple) -> None:
@@ -496,6 +531,16 @@ class HeapEventLoop:
             raise ValueError(f"cannot schedule at {when} before now={self._now}")
         heapq.heappush(self._heap, (when, priority, next(self._seq), callback))
         self._live += 1
+
+    def schedule_hidden(
+        self, when: float, callback: Callable[[], None], priority: int = 10
+    ) -> None:
+        self.schedule_fast(when, callback, priority)
+        self._live -= 1
+
+    def adjust_hidden(self, live: int = 0, processed: int = 0) -> None:
+        self._live += live
+        self._processed += processed
 
     def step(self) -> bool:
         while self._heap:

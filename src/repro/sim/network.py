@@ -23,7 +23,7 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass
-from heapq import heapify, heappop, heapreplace
+from heapq import heappop, heappush, heapreplace
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.sim.engine import EventLoop, SimulationError
@@ -103,7 +103,7 @@ class DeliveryQueue:
     timing is never wrong, merely unbatched.
     """
 
-    __slots__ = ("loop", "deliver", "priority", "label", "_pending", "_armed")
+    __slots__ = ("loop", "deliver", "priority", "label", "_pending", "_armed", "_flush_cb")
 
     def __init__(
         self,
@@ -118,6 +118,9 @@ class DeliveryQueue:
         self.label = label
         self._pending: "deque[Tuple[float, Any]]" = deque()
         self._armed = False
+        #: Pre-bound flush callback: arming happens once per burst but the
+        #: bound-method allocation was still visible under saturation.
+        self._flush_cb = self._flush
 
     def __len__(self) -> int:
         return len(self._pending)
@@ -131,7 +134,7 @@ class DeliveryQueue:
         pending.append((when, item))
         if not self._armed:
             self._armed = True
-            self.loop.schedule_fast(when, self._flush, self.priority)
+            self.loop.schedule_fast(when, self._flush_cb, self.priority)
 
     def _flush(self) -> None:
         self._armed = False
@@ -142,7 +145,7 @@ class DeliveryQueue:
             deliver(pending.popleft()[1])
         if pending and not self._armed:
             self._armed = True
-            self.loop.schedule_fast(pending[0][0], self._flush, self.priority)
+            self.loop.schedule_fast(pending[0][0], self._flush_cb, self.priority)
 
 
 class Link:
@@ -342,25 +345,51 @@ class _SwitchLane:
     def push(self, arrival: float, p_ref: float, packet: Packet) -> None:
         q = self.q
         owner = self.owner
-        loop = owner._loop
         if q:
             if arrival < q[-1][0]:
                 # FIFO feeders cannot produce this; keep an unbatched
                 # fallback mirroring DeliveryQueue's out-of-order contract.
-                loop.schedule_fast(arrival, lambda: owner.receive(packet), 5)
+                owner._loop.schedule_fast(arrival, lambda: owner.receive(packet), 5)
                 return
-        elif p_ref > self.arm_at:
-            # Reference arming: empty queue, armed by this push at p_ref.
-            # When p_ref has not passed the chain key left behind by the
-            # last drained group, the reference queue never went empty (the
-            # push happened before that group's flush) and re-armed chained
-            # at the flush instant: keep the stored chain key instead.
-            self.arm_at = p_ref
-            self.arm_tick = owner._arm_tick = owner._arm_tick + 1
-        q.append((arrival, p_ref, packet))
-        if not self.ref_live and p_ref <= loop._now:
-            self.ref_live = 1
-            loop._live += 1
+            q.append((arrival, p_ref, packet))
+        else:
+            if p_ref > self.arm_at:
+                # Reference arming: empty queue, armed by this push at p_ref.
+                # When p_ref has not passed the chain key left behind by the
+                # last drained group, the reference queue never went empty (the
+                # push happened before that group's flush) and re-armed chained
+                # at the flush instant: keep the stored chain key instead.
+                self.arm_at = p_ref
+                self.arm_tick = owner._arm_tick = owner._arm_tick + 1
+            q.append((arrival, p_ref, packet))
+            # Lane goes non-empty: enter the switch's persistent merge
+            # index.  The entry mirrors (head arrival, arm_at, arm_tick)
+            # exactly until _drain_to re-keys it at a group boundary or
+            # pops it dry — FIFO appends never change the head, and the
+            # arm fields only move on this empty-queue branch.
+            heappush(owner._index, (arrival, self.arm_at, self.arm_tick, self))
+            if not self.ref_live:
+                loop = owner._loop
+                if p_ref <= loop._now:
+                    self.ref_live = 1
+                    loop.adjust_hidden(1)
+                else:
+                    # Head p_ref is still in the future: the flip happens
+                    # as now advances, without any event touching this
+                    # lane — watch it from the drain-end refresh.
+                    owner._ref_pending.append(self)
+            at = owner._drain_at
+            if at is None or at > arrival:
+                g = (int(arrival * owner._grid_inv) + 1) * owner._grid
+                if at is None or g < at:
+                    owner._drain_at = g
+                    owner._loop.schedule_hidden(g, owner._drain_cb, 5)
+            return
+        if not self.ref_live:
+            loop = owner._loop
+            if p_ref <= loop._now:
+                self.ref_live = 1
+                loop.adjust_hidden(1)
         # Arm the drain on the switch's time grid: a packet may wait up to
         # one grid period (= min egress latency) because its downstream
         # arrival is at least that far away, and grid alignment means a
@@ -373,8 +402,7 @@ class _SwitchLane:
             g = (int(arrival * owner._grid_inv) + 1) * owner._grid
             if at is None or g < at:
                 owner._drain_at = g
-                loop.schedule_fast(g, owner._drain, 5)
-                loop._live -= 1  # hidden: drains have no reference counterpart
+                owner._loop.schedule_hidden(g, owner._drain_cb, 5)
 
 
 class Switch(NetworkElement):
@@ -413,6 +441,24 @@ class Switch(NetworkElement):
         #: Monotone stand-in for the engine's schedule sequence, bumped at
         #: every simulated reference arming (see :class:`_SwitchLane`).
         self._arm_tick = 0
+        #: Persistent lane index: a heap holding exactly one
+        #: ``(head arrival, arm_at, arm_tick, lane)`` entry per non-empty
+        #: lane.  Maintained incrementally — O(log L) heappush when a lane
+        #: goes non-empty (:meth:`_SwitchLane.push`), O(log L) re-key /
+        #: pop at group boundaries in :meth:`_drain_to` — so a drain walks
+        #: the merged order directly instead of heapifying all lane heads
+        #: from scratch every grid period.  ``arm_tick`` is unique per
+        #: switch, so entries totally order before ever comparing lanes.
+        self._index: List[Tuple[float, float, int, _SwitchLane]] = []
+        #: Non-empty lanes whose head ``p_ref`` is still in the future
+        #: (``ref_live`` 0): the armed-flush mirror flips as now advances
+        #: without any event touching the lane, so the drain-end refresh
+        #: walks this (tiny) watch list instead of every lane.  Lazily
+        #: deduplicated — a stale entry is dropped on the next scan.
+        self._ref_pending: List[_SwitchLane] = []
+        #: Pre-bound drain callback (one bound-method allocation total,
+        #: not one per grid arming).
+        self._drain_cb = self._drain
         #: Drain grid period: the minimum egress latency.  A laned packet
         #: may be forwarded up to one period after its arrival here without
         #: any downstream instant observing the delay.
@@ -466,22 +512,46 @@ class Switch(NetworkElement):
 
     def _demote_lanes(self) -> None:
         """Fall back to per-arrival scheduled delivery (a zero-latency link
-        leaves no slack for batched forwarding)."""
+        leaves no slack for batched forwarding).
+
+        Spilled backlog goes back into each feeding link's delivery queue —
+        the structure the reference engine keeps it in — rather than one
+        scheduled event and one closure per packet: per-lane arrivals are
+        non-decreasing, so :class:`DeliveryQueue`'s monotone batching
+        applies and the spill arms one real flush per link.
+        """
         self._lazy_ok = False
         self.network._topo_gen += 1
-        loop = self._loop
-        for lane in self._lanes:
+        if self._index:
+            # Mid-run demotion: laned arrivals may be up to one grid period
+            # in the past (the reference engine already delivered them).
+            # Replay everything due now in merged reference order first, so
+            # the spill below only ever re-queues future arrivals — the
+            # delivery queues cannot schedule into the past.
+            now = self._loop._now
+            self._drain_to(now, now)
+        self._drain_at = None
+        mirrored = 0
+        for link in self.network.links.values():
+            lane = link._lazy_lane
+            if lane is None or lane.owner is not self:
+                continue
+            link._lazy_lane = None
+            arrivals_push = link._arrivals.push
             for arrival, _p_ref, packet in lane.q:
-                loop.schedule_fast(arrival, lambda p=packet: self.receive(p), 5)
+                arrivals_push(arrival, packet)
             lane.q.clear()
             if lane.ref_live:
+                # The mirror flag is superseded by the real armed flush the
+                # spill just created.
                 lane.ref_live = 0
-                loop._live -= 1
+                mirrored += 1
+        if mirrored:
+            self._loop.adjust_hidden(-mirrored)
         self._lanes.clear()
+        self._index.clear()
+        self._ref_pending.clear()
         self._grid = 0.0
-        for link in self.network.links.values():
-            if link._lazy_lane is not None and link._lazy_lane.owner is self:
-                link._lazy_lane = None
 
     def _drain(self) -> None:
         """Forward every laned arrival inside the lookahead window.
@@ -492,8 +562,7 @@ class Switch(NetworkElement):
         standing in for the reference's armed flush entries.
         """
         loop = self._loop
-        loop._processed -= 1  # hidden event: undo step()'s accounting
-        loop._live += 1
+        loop.adjust_hidden(1, -1)  # hidden event: undo step()'s accounting
         now = loop._now
         if self._drain_at != now:
             return  # superseded by a re-arm at an earlier grid point
@@ -510,35 +579,35 @@ class Switch(NetworkElement):
             at = self._drain_at
             if at is None or g < at:
                 self._drain_at = g
-                loop.schedule_fast(g, self._drain, 5)
-                loop._live -= 1
+                loop.schedule_hidden(g, self._drain_cb, 5)
 
     def _drain_to(self, bound: float, now: float) -> Optional[float]:
         """Forward every laned arrival at or before ``bound`` in merged
         reference order, then refresh the virtual armed-flush flags.
         Returns the merged head arrival left pending, if any.
+
+        Walks :attr:`_index` — the persistent heap of per-lane head keys —
+        directly: a group boundary re-keys the root in place, a dry lane
+        pops it, and everything still pending survives to the next drain
+        untouched.  The merge keys are immutable while a head group is
+        pending (pushes only append behind it), so the pop sequence is
+        identical to the heapify-from-scratch it replaces.
         """
-        loop = self._loop
-        lanes = self._lanes
-        heads = [
-            (lane.q[0][0], lane.arm_at, lane.arm_tick, i)
-            for i, lane in enumerate(lanes)
-            if lane.q
-        ]
+        heads = self._index
         if not heads:
             return None
-        heapify(heads)
+        loop = self._loop
+        fwd = self._fwd
+        hdr = DEFAULT_HEADER_BYTES
         groups = 0
         count = 0
-        fwd_get = self._fwd.get
-        hdr = DEFAULT_HEADER_BYTES
+        live_delta = 0
         while heads:
             head = heads[0]
             arrival = head[0]
             if arrival > bound:
                 break
-            i = head[3]
-            lane = lanes[i]
+            lane = head[3]
             q = lane.q
             _, _, packet = q.popleft()
             if arrival != lane.group_arr:
@@ -547,10 +616,11 @@ class Switch(NetworkElement):
             count += 1
             packet.hops += 1
             dst = packet.dst
-            link = fwd_get(dst)
-            if link is None:
+            try:
+                link = fwd[dst]
+            except KeyError:
                 link = self.interface.links[self.network.next_hop(self.name, dst)]
-                self._fwd[dst] = link
+                fwd[dst] = link
             # Link.transmit_lazy, inlined (the drain is the per-packet hot
             # loop): identical expression shapes, forward_at = arrival.
             total_bytes = packet.size_bytes + hdr
@@ -564,27 +634,62 @@ class Switch(NetworkElement):
             link.packets_sent += 1
             sink = link._lazy_host
             if sink is not None:
-                sink._ingress_push(down_arrival, packet, arrival)
+                # Host._ingress_push, non-empty in-order fast case inlined
+                # (p_ref = arrival: the forward instant at this switch).
+                hq = sink._in_q
+                if hq and down_arrival >= hq[-1][0]:
+                    hq.append((down_arrival, arrival, packet))
+                    if not sink._lane_live and arrival <= now:
+                        sink._lane_live = 1
+                        loop.adjust_hidden(1)
+                else:
+                    sink._ingress_push(down_arrival, packet, arrival)
             else:
                 sink = link._lazy_lane
                 if sink is not None:
-                    sink.push(down_arrival, arrival, packet)
+                    # _SwitchLane.push, non-empty in-order fast case
+                    # inlined (the downstream lane's merge-index entry
+                    # only changes when its queue goes non-empty).
+                    lq = sink.q
+                    if lq and down_arrival >= lq[-1][0]:
+                        lq.append((down_arrival, arrival, packet))
+                        if not sink.ref_live and arrival <= now:
+                            sink.ref_live = 1
+                            loop.adjust_hidden(1)
+                        sw = sink.owner
+                        at = sw._drain_at
+                        if at is None or at > down_arrival:
+                            g = (int(down_arrival * sw._grid_inv) + 1) * sw._grid
+                            if at is None or g < at:
+                                sw._drain_at = g
+                                loop.schedule_hidden(g, sw._drain_cb, 5)
+                    else:
+                        sink.push(down_arrival, arrival, packet)
                 else:
                     link._arrivals.push(down_arrival, packet)
             if q:
-                nxt_arrival, nxt_p_ref, _ = q[0]
-                if nxt_arrival == arrival:
-                    # Same-group continuation: the root's merge key is
-                    # unchanged (and arm_tick is unique per switch, so the
-                    # min is strict) — leave the heap alone.
-                    pass
-                else:
+                head2 = q[0]
+                nxt_arrival = head2[0]
+                if nxt_arrival != arrival:
                     # Group boundary: the reference re-arms at this flush's
                     # instant when the next item is already pushed, else at
-                    # the instant of that item's push.
-                    lane.arm_at = arrival if nxt_p_ref <= arrival else nxt_p_ref
-                    lane.arm_tick = self._arm_tick = self._arm_tick + 1
-                    heapreplace(heads, (nxt_arrival, lane.arm_at, lane.arm_tick, i))
+                    # the instant of that item's push.  (Same-group
+                    # continuations leave the root's merge key unchanged —
+                    # arm_tick is unique per switch, so the min is strict.)
+                    nxt_p_ref = head2[1]
+                    lane.arm_at = arm = arrival if nxt_p_ref <= arrival else nxt_p_ref
+                    lane.arm_tick = tick = self._arm_tick = self._arm_tick + 1
+                    heapreplace(heads, (nxt_arrival, arm, tick, lane))
+                    # The head changed; settle its armed-flush mirror now
+                    # (the full-lane scan this replaces did it per drain).
+                    if nxt_p_ref <= now:
+                        if not lane.ref_live:
+                            lane.ref_live = 1
+                            live_delta += 1
+                    elif lane.ref_live:
+                        lane.ref_live = 0
+                        live_delta -= 1
+                        self._ref_pending.append(lane)
             else:
                 # Lane drained dry: pre-assign the chain-continuation key.
                 # If a deferred upstream push later lands with p_ref at or
@@ -593,26 +698,33 @@ class Switch(NetworkElement):
                 lane.arm_at = arrival
                 lane.arm_tick = self._arm_tick = self._arm_tick + 1
                 heappop(heads)
+                if lane.ref_live:
+                    lane.ref_live = 0
+                    live_delta -= 1
         self.packets_forwarded += count
-        loop._processed += groups
-        # Refresh the virtual armed-flush flags and find the new head.
-        live_delta = 0
-        nxt: Optional[float] = None
-        for lane in lanes:
-            q = lane.q
-            if q:
-                head = q[0]
-                new = 1 if head[1] <= now else 0
-                if nxt is None or head[0] < nxt:
-                    nxt = head[0]
+        # Refresh the watched armed-flush mirrors (a head's p_ref passes
+        # as now advances without any event touching the lane; every
+        # (non-empty, mirror-down) lane is on the watch list).
+        watch = self._ref_pending
+        if watch:
+            keep = None
+            for lane in watch:
+                q = lane.q
+                if q and not lane.ref_live:
+                    if q[0][1] <= now:
+                        lane.ref_live = 1
+                        live_delta += 1
+                    elif keep is None:
+                        keep = [lane]
+                    else:
+                        keep.append(lane)
+            if keep is None:
+                watch.clear()
             else:
-                new = 0
-            if new != lane.ref_live:
-                live_delta += new - lane.ref_live
-                lane.ref_live = new
-        if live_delta:
-            loop._live += live_delta
-        return nxt
+                self._ref_pending = keep
+        if groups or live_delta:
+            loop.adjust_hidden(live_delta, groups)
+        return heads[0][0] if heads else None
 
     def receive(self, packet: Packet) -> None:
         self.packets_forwarded += 1
@@ -658,13 +770,16 @@ class _RxQueue(DeliveryQueue):
         # Host._dispatch inlined: this is the per-delivered-packet loop, and
         # the extra frame per packet was measurable.  Failure state and the
         # handler are re-read per packet (a callback can fail the host or
-        # swap the handler mid-flush), exactly as the indirect call did.
+        # swap the handler mid-flush), exactly as the indirect call did; the
+        # receive counters accumulate in locals and settle once per flush.
         hdr = DEFAULT_HEADER_BYTES
+        n_received = 0
+        b_received = 0
         while pending and pending[0][0] <= now:
             packet = pending.popleft()[1]
             if not host.failed:
-                host.messages_received += 1
-                host.bytes_received += packet.size_bytes + hdr
+                n_received += 1
+                b_received += packet.size_bytes + hdr
                 handler = host._handler
                 if handler is not None:
                     obs = host._obs
@@ -672,10 +787,13 @@ class _RxQueue(DeliveryQueue):
                         handler(packet.src, packet.payload)
                     else:
                         obs.deliver(host.name, packet, handler)
+        if n_received:
+            host.messages_received += n_received
+            host.bytes_received += b_received
         if pending:
             if not self._armed:
                 self._armed = True
-                loop.schedule_fast(pending[0][0], self._flush, self.priority)
+                loop.schedule_fast(pending[0][0], self._flush_cb, 8)
         elif host._in_armed_at is not None:
             host._arm_wake(host._in_armed_at)
 
@@ -750,6 +868,8 @@ class Host(NetworkElement):
         self._lane_live = 0
         #: Earliest real wake-up currently scheduled (None when none).
         self._wake_at: Optional[float] = None
+        #: Pre-bound wake callback (one bound-method allocation total).
+        self._wake_cb = self._wake
 
     # ------------------------------------------------------------------
     def set_handler(self, handler: Callable[[str, Any], None]) -> None:
@@ -796,7 +916,7 @@ class Host(NetworkElement):
                 loop = self._loop
                 if p_ref <= loop._now:
                     self._lane_live = 1
-                    loop._live += 1
+                    loop.adjust_hidden(1)
             return
         q.append((when, p_ref, packet))
         loop = self._loop
@@ -804,7 +924,7 @@ class Host(NetworkElement):
             # Mirror the reference engine's armed flush entry in the live
             # count; the replay "fires" it from _pull.
             self._lane_live = 1
-            loop._live += 1
+            loop.adjust_hidden(1)
         if self._in_armed_at is None:
             self._in_armed_at = when
             if not self._rx_queue._pending:
@@ -816,17 +936,14 @@ class Host(NetworkElement):
         wake_at = self._wake_at
         if wake_at is None or when < wake_at:
             self._wake_at = when
-            loop = self._loop
-            loop.schedule_fast(when, self._wake, 5)
             # Wake-ups have no counterpart in the reference engine: keep
             # them invisible to len(loop) (and to processed_events, which
             # _wake re-adjusts when it fires).
-            loop._live -= 1
+            self._loop.schedule_hidden(when, self._wake_cb, 5)
 
     def _wake(self) -> None:
         loop = self._loop
-        loop._processed -= 1  # uncount: not an event under the reference engine
-        loop._live += 1  # step() decremented for this entry; restore
+        loop.adjust_hidden(1, -1)  # hidden event: undo step()'s accounting
         self._wake_at = None
         if self._in_armed_at is not None:
             self._pull(loop._now)
@@ -874,15 +991,13 @@ class Host(NetworkElement):
             armed = q[0][0] if q else None
         self._cpu_busy_until = busy
         self._cpu_busy_s = busy_s
-        loop._processed += flushes
         self._in_armed_at = armed
         if pending and not rxq._armed:
             rxq._armed = True
-            loop.schedule_fast(pending[0][0], rxq._flush, 8)
+            loop.schedule_fast(pending[0][0], rxq._flush_cb, 8)
         new_live = 1 if (q and q[0][1] <= loop._now) else 0
-        if new_live != self._lane_live:
-            loop._live += new_live - self._lane_live
-            self._lane_live = new_live
+        loop.adjust_hidden(new_live - self._lane_live, flushes)
+        self._lane_live = new_live
 
     def _tx_group(self) -> Tuple[_TxGroup, bool]:
         """The open coalescing group for the current event turn.
@@ -1062,11 +1177,13 @@ class Network:
         #: Link, or None for loopback}.  Invalidated with the routing table.
         self._fanout_plans: Dict[Tuple[str, frozenset], Dict[str, Optional[Link]]] = {}
         #: Per-pair first-hop cache backing the plans *and* the coalesced
-        #: transmit groups: (src, dst) -> first-hop Link (None = loopback).
+        #: transmit groups: src -> {dst -> first-hop Link (None = loopback)}.
+        #: Nested by source so the per-packet fan-out loop looks up a plain
+        #: string key instead of allocating a (src, dst) tuple per item.
         #: Bounded by the number of host pairs actually communicating,
         #: unlike per-group keys, which would grow with every distinct
         #: destination mix a turn happens to coalesce.
-        self._first_hops: Dict[Tuple[str, str], Optional[Link]] = {}
+        self._first_hops: Dict[str, Dict[str, Optional[Link]]] = {}
         #: Bumped on every link-topology change; invalidates drain margins.
         self._topo_gen = 0
         # Backlog lanes are replayed lazily; settle them whenever a run
@@ -1171,26 +1288,28 @@ class Network:
         while changed:
             changed = False
             for switch in switches:
-                for lane in switch._lanes:
-                    if lane.q and lane.q[0][0] <= now:
-                        switch._drain_to(now, now)
-                        changed = True
-                        break
+                index = switch._index
+                if index and index[0][0] <= now:
+                    switch._drain_to(now, now)
+                    changed = True
+        live_delta = 0
         for host in self.hosts.values():
             if host._in_armed_at is not None:
                 host._pull(now)
             q = host._in_q
             new = 1 if (q and q[0][1] <= now) else 0
             if new != host._lane_live:
-                loop._live += new - host._lane_live
+                live_delta += new - host._lane_live
                 host._lane_live = new
         for switch in switches:
             for lane in switch._lanes:
                 q = lane.q
                 new = 1 if (q and q[0][1] <= now) else 0
                 if new != lane.ref_live:
-                    loop._live += new - lane.ref_live
+                    live_delta += new - lane.ref_live
                     lane.ref_live = new
+        if live_delta:
+            loop.adjust_hidden(live_delta)
 
     def next_hop(self, src: str, dst: str) -> str:
         if self._routes_dirty:
@@ -1256,8 +1375,10 @@ class Network:
 
     def _first_hop(self, src: str, dst: str) -> Optional[Link]:
         """Cached first-hop egress link for ``src -> dst`` (None = loopback)."""
-        key = (src, dst)
-        link = self._first_hops.get(key, _MISSING)
+        by_dst = self._first_hops.get(src)
+        if by_dst is None:
+            by_dst = self._first_hops[src] = {}
+        link = by_dst.get(dst, _MISSING)
         if link is _MISSING:
             if dst not in self.hosts:
                 raise SimulationError(f"send requires host endpoints ({src} -> {dst})")
@@ -1265,7 +1386,7 @@ class Network:
                 link = None
             else:
                 link = self.hosts[src].interface.links[self.next_hop(src, dst)]
-            self._first_hops[key] = link
+            by_dst[dst] = link
         return link
 
     def _fanout_plan(self, src: str, dsts: Sequence[str]) -> Dict[str, Optional[Link]]:
@@ -1312,19 +1433,30 @@ class Network:
             self._rebuild_routes()
         hosts = self.hosts
         first_hop = self._first_hop
-        fh_get = self._first_hops.get
+        first_hops = self._first_hops.get(src)
+        if first_hops is None:
+            first_hops = self._first_hops[src] = {}
         packet_ids = self._packet_ids
         hdr = DEFAULT_HEADER_BYTES
         obs = self._obs
+        loop = self.loop
         # The loop never advances time, so the reference-push instant every
-        # transmit would read is the same for the whole group.
-        p_ref = self.loop._now
+        # transmit would read is the same for the whole group — and every
+        # laned push below satisfies ``p_ref <= now`` by construction.
+        p_ref = loop._now
+        # A fan-out group from one host rides one egress link for every
+        # non-loopback destination (tree routing), so the lazy-sink
+        # resolution is cached across consecutive same-link items.
+        last_link = None
+        sink_host: Optional[Host] = None
+        sink_lane: Optional[_SwitchLane] = None
         for dst, payload, size_bytes, when in items:
             if plan is not None:
                 link = plan[dst]
             else:
-                link = fh_get((src, dst), _MISSING)
-                if link is _MISSING:
+                try:
+                    link = first_hops[dst]
+                except KeyError:
                     link = first_hop(src, dst)
             if hosts[dst].failed:
                 self.dropped_packets += 1
@@ -1334,28 +1466,53 @@ class Network:
                 obs.packet_sent(packet)
             if link is None:
                 self._loopback_queue(dst).push(when + self.local_loopback_latency_s, packet)
-            else:
-                # Link.transmit_at, inlined (this is the per-packet injection
-                # hot loop): identical expression shapes, earliest_start =
-                # the item's CPU-finish instant.
-                total_bytes = size_bytes + hdr
-                serialization = total_bytes * 8.0 / link.bandwidth_bps
-                busy = link._busy_until
-                start = when if when > busy else busy
-                finish = start + serialization
-                link._busy_until = finish
-                arrival = finish + link.latency_s
-                link.bytes_sent += total_bytes
-                link.packets_sent += 1
-                sink = link._lazy_host
-                if sink is not None:
-                    sink._ingress_push(arrival, packet, p_ref)
+                continue
+            # Link.transmit_at, inlined (this is the per-packet injection
+            # hot loop): identical expression shapes, earliest_start =
+            # the item's CPU-finish instant.
+            total_bytes = size_bytes + hdr
+            serialization = total_bytes * 8.0 / link.bandwidth_bps
+            busy = link._busy_until
+            start = when if when > busy else busy
+            finish = start + serialization
+            link._busy_until = finish
+            arrival = finish + link.latency_s
+            link.bytes_sent += total_bytes
+            link.packets_sent += 1
+            if link is not last_link:
+                last_link = link
+                sink_host = link._lazy_host
+                sink_lane = link._lazy_lane if sink_host is None else None
+            if sink_host is not None:
+                # Host._ingress_push, non-empty in-order fast case inlined
+                # (p_ref = now, so the head's armed-flush mirror is live).
+                hq = sink_host._in_q
+                if hq and arrival >= hq[-1][0]:
+                    hq.append((arrival, p_ref, packet))
+                    if not sink_host._lane_live:
+                        sink_host._lane_live = 1
+                        loop.adjust_hidden(1)
                 else:
-                    sink = link._lazy_lane
-                    if sink is not None:
-                        sink.push(arrival, p_ref, packet)
-                    else:
-                        link._arrivals.push(arrival, packet)
+                    sink_host._ingress_push(arrival, packet, p_ref)
+            elif sink_lane is not None:
+                # _SwitchLane.push, non-empty in-order fast case inlined.
+                lq = sink_lane.q
+                if lq and arrival >= lq[-1][0]:
+                    lq.append((arrival, p_ref, packet))
+                    if not sink_lane.ref_live:
+                        sink_lane.ref_live = 1
+                        loop.adjust_hidden(1)
+                    sw = sink_lane.owner
+                    at = sw._drain_at
+                    if at is None or at > arrival:
+                        g = (int(arrival * sw._grid_inv) + 1) * sw._grid
+                        if at is None or g < at:
+                            sw._drain_at = g
+                            loop.schedule_hidden(g, sw._drain_cb, 5)
+                else:
+                    sink_lane.push(arrival, p_ref, packet)
+            else:
+                link._arrivals.push(arrival, packet)
 
     # ------------------------------------------------------------------
     # Introspection helpers used by benchmarks

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from repro.broadcast.base import BroadcastEnvelope
 from repro.broadcast.raft_broadcast import _ForwardedBroadcast
-from repro.canopus.membership import Heartbeat, JoinAck, JoinRequest
+from repro.canopus.membership import Heartbeat, JoinRequest
 from repro.canopus.messages import (
     ClientReply,
     ClientRequest,
@@ -80,7 +80,6 @@ GOLDEN = [
     ("proposal-request", lambda: ProposalRequest(1, 1, "v0", "n0"), 24),
     ("heartbeat", lambda: Heartbeat(sender="n0", sent_at=0.5), 24),
     ("join-request", lambda: JoinRequest(node_id="n1", super_leaf="sl0"), 48),
-    ("join-ack", lambda: JoinAck(from_node="n0", last_committed_cycle=3, commit_log_length=9), 48),
     ("broadcast-envelope", lambda: BroadcastEnvelope("n0", 1, _request(), 1), 48 + 24),
     ("broadcast-envelope-opaque", lambda: BroadcastEnvelope("n0", 1, object(), 1), 64 + 24),
     (
@@ -142,7 +141,7 @@ GOLDEN = [
 WIRE_COVERED = {
     "src/repro/broadcast/base.py": ("BroadcastEnvelope",),
     "src/repro/broadcast/raft_broadcast.py": ("_ForwardedBroadcast",),
-    "src/repro/canopus/membership.py": ("Heartbeat", "JoinRequest", "JoinAck"),
+    "src/repro/canopus/membership.py": ("Heartbeat", "JoinRequest"),
     "src/repro/canopus/messages.py": (
         "ClientRequest",
         "ClientReply",
